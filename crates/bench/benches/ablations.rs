@@ -1,0 +1,68 @@
+//! Design-ablation benches: the §6 toggles measured on a fixed kernel so
+//! their *simulated-outcome* differences (printed) and *regeneration
+//! cost* (measured) are both tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spdyier_core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode};
+use spdyier_sim::SimDuration;
+use spdyier_workload::VisitSchedule;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn kernel(tweak: impl Fn(&mut ExperimentConfig)) -> f64 {
+    let mut cfg = ExperimentConfig::paper_3g(ProtocolMode::spdy(), 1)
+        .with_network(NetworkKind::Umts3G)
+        .with_schedule(VisitSchedule::sequential(
+            vec![7, 12],
+            SimDuration::from_secs(60),
+        ));
+    tweak(&mut cfg);
+    let r = run_experiment(cfg);
+    r.visits.iter().map(|v| v.plt_ms).sum::<f64>() / r.visits.len() as f64
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    g.bench_function("abl_baseline", |b| b.iter(|| black_box(kernel(|_| {}))));
+    g.bench_function("abl_rtt_reset", |b| {
+        b.iter(|| black_box(kernel(|cfg| cfg.tcp.reset_rtt_after_idle = true)))
+    });
+    g.bench_function("abl_no_ss_after_idle", |b| {
+        b.iter(|| black_box(kernel(|cfg| cfg.tcp.slow_start_after_idle = false)))
+    });
+    g.bench_function("abl_no_metrics_cache", |b| {
+        b.iter(|| black_box(kernel(|cfg| cfg.cache_metrics = false)))
+    });
+    g.bench_function("abl_multiconn", |b| {
+        b.iter(|| {
+            black_box(kernel(|cfg| {
+                cfg.protocol = ProtocolMode::Spdy {
+                    connections: 20,
+                    late_binding: false,
+                }
+            }))
+        })
+    });
+    g.bench_function("abl_late_binding", |b| {
+        b.iter(|| {
+            black_box(kernel(|cfg| {
+                cfg.protocol = ProtocolMode::Spdy {
+                    connections: 20,
+                    late_binding: true,
+                }
+            }))
+        })
+    });
+    g.bench_function("abl_reno", |b| {
+        b.iter(|| black_box(kernel(|cfg| cfg.tcp.cc = spdyier_tcp::CcAlgorithm::Reno)))
+    });
+    g.bench_function("abl_pinned_dch", |b| {
+        b.iter(|| black_box(kernel(|cfg| cfg.network = NetworkKind::Umts3GPinned)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

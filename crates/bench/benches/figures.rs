@@ -1,0 +1,104 @@
+//! One benchmark per paper table/figure: each target runs the experiment
+//! kernel that regenerates the artifact (single seed, so `cargo bench`
+//! stays tractable). The experiment *output* comes from the `experiments`
+//! binary; these benches keep regeneration cost visible and regression-
+//! tested.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spdyier_bench::{short_schedule_run, single_visit};
+use spdyier_core::{NetworkKind, ProtocolMode};
+use spdyier_experiments::{run_by_id, ExpOpts};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_experiment(c: &mut Criterion, bench_name: &str, id: &'static str) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.bench_function(bench_name, |b| {
+        b.iter(|| {
+            let report = run_by_id(id, ExpOpts::quick()).expect("known id");
+            black_box(report.data);
+        })
+    });
+    g.finish();
+}
+
+fn figure_benches(c: &mut Criterion) {
+    // Table 1 is pure synthesis: cheap, benchmark verbatim.
+    bench_experiment(c, "table1_corpus", "table1");
+    // The trace-driven single-run figures are affordable per-iteration.
+    bench_experiment(c, "fig06_request_patterns", "fig6");
+    bench_experiment(c, "fig07_test_pages", "fig7");
+    bench_experiment(c, "fig08_proxy_queue", "fig8");
+    bench_experiment(c, "fig10_inflight", "fig10");
+    bench_experiment(c, "fig11_cwnd_trace", "fig11");
+    bench_experiment(c, "fig12_cwnd_zoom", "fig12");
+    bench_experiment(c, "fig13_rtx_bursts", "fig13");
+    bench_experiment(c, "fig17_lte_cwnd", "fig17");
+}
+
+fn heavy_figure_kernels(c: &mut Criterion) {
+    // Full-matrix figures (3, 4, 5, 9, 14, 15, 16, table2 and the §6
+    // sweeps) run many full schedules; benchmark their per-run kernel so
+    // regressions in the hot path are caught without hour-long benches.
+    let mut g = c.benchmark_group("figure_kernels");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.bench_function("fig03_plt_3g_kernel", |b| {
+        b.iter(|| {
+            black_box(short_schedule_run(
+                ProtocolMode::Http,
+                NetworkKind::Umts3G,
+                1,
+            ))
+        })
+    });
+    g.bench_function("fig04_plt_wifi_kernel", |b| {
+        b.iter(|| {
+            black_box(short_schedule_run(
+                ProtocolMode::spdy(),
+                NetworkKind::Wifi,
+                1,
+            ))
+        })
+    });
+    g.bench_function("fig05_object_split_kernel", |b| {
+        b.iter(|| {
+            let r = single_visit(ProtocolMode::spdy(), NetworkKind::Umts3G, 7, 1);
+            black_box(r.visits[0].object_timings.len())
+        })
+    });
+    g.bench_function("fig09_throughput_kernel", |b| {
+        b.iter(|| {
+            let r = short_schedule_run(ProtocolMode::Http, NetworkKind::Umts3G, 2);
+            black_box(r.client_downlink_bytes.len())
+        })
+    });
+    g.bench_function("fig14_dch_pinning_kernel", |b| {
+        b.iter(|| {
+            black_box(single_visit(
+                ProtocolMode::spdy(),
+                NetworkKind::Umts3GPinned,
+                5,
+                1,
+            ))
+        })
+    });
+    g.bench_function("fig16_plt_lte_kernel", |b| {
+        b.iter(|| {
+            black_box(short_schedule_run(
+                ProtocolMode::spdy(),
+                NetworkKind::Lte,
+                1,
+            ))
+        })
+    });
+    g.bench_function("table2_cc_variants_kernel", |b| {
+        b.iter(|| black_box(single_visit(ProtocolMode::Http, NetworkKind::Umts3G, 13, 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figure_benches, heavy_figure_kernels);
+criterion_main!(benches);

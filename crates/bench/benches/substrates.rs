@@ -1,0 +1,165 @@
+//! Substrate micro-benchmarks: how fast are the building blocks the
+//! testbed is made of?
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spdyier_cellular::{Rrc3g, Rrc3gConfig};
+use spdyier_sim::{DetRng, EventQueue, SimDuration, SimTime};
+use spdyier_spdy::{Compressor, Decompressor, Role, SpdyConfig, SpdySession};
+use spdyier_tcp::{TcpConfig, TcpConnection};
+use spdyier_workload::{synthesize, SiteSpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Lossless in-memory TCP transfer of `bytes` between two endpoints.
+fn tcp_transfer(bytes: usize) -> usize {
+    let mut c = TcpConnection::client(TcpConfig::default());
+    let mut s = TcpConnection::server(TcpConfig::default());
+    c.connect(SimTime::ZERO);
+    let latency = SimDuration::from_millis(10);
+    let mut now = SimTime::ZERO;
+    let mut wire: Vec<(SimTime, bool, spdyier_tcp::Segment)> = Vec::new();
+    c.write(Bytes::from(vec![7u8; bytes]));
+    let mut received = 0usize;
+    for _ in 0..1_000_000 {
+        while let Some(seg) = c.poll_transmit(now) {
+            wire.push((now + latency, false, seg));
+        }
+        while let Some(seg) = s.poll_transmit(now) {
+            wire.push((now + latency, true, seg));
+        }
+        while let Some(chunk) = s.read() {
+            received += chunk.len();
+        }
+        if received >= bytes {
+            return received;
+        }
+        let next = wire.iter().map(|(t, _, _)| *t).min();
+        let next = match next {
+            Some(t) => t,
+            None => match [c.next_timer(), s.next_timer()].into_iter().flatten().min() {
+                Some(t) => t,
+                None => break,
+            },
+        };
+        now = next.max(now);
+        let mut i = 0;
+        while i < wire.len() {
+            if wire[i].0 <= now {
+                let (_, to_c, seg) = wire.remove(i);
+                if to_c {
+                    c.on_segment(now, seg);
+                } else {
+                    s.on_segment(now, seg);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        c.on_timer(now);
+        s.on_timer(now);
+    }
+    received
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(10));
+    for &size in &[64 * 1024usize, 1024 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("transfer_{}k", size / 1024), |b| {
+            b.iter(|| black_box(tcp_transfer(size)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_spdy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spdy");
+    g.bench_function("mux_100_streams", |b| {
+        b.iter(|| {
+            let mut client = SpdySession::new(Role::Client, SpdyConfig::default());
+            let mut server = SpdySession::new(Role::Server, SpdyConfig::default());
+            for i in 0..100 {
+                client.open_stream(
+                    vec![
+                        (":path".into(), format!("/obj/{i}.png")),
+                        (":host".into(), "bench.example".into()),
+                    ],
+                    2,
+                    true,
+                );
+            }
+            while let Some(wire) = client.poll_wire() {
+                black_box(server.on_bytes(&wire).expect("ok"));
+            }
+        })
+    });
+    g.bench_function("header_compression_roundtrip", |b| {
+        let block = b"accept-encoding: gzip,deflate\r\ncookie: sid=0123456789abcdef\r\nuser-agent: Mozilla/5.0 (Windows NT 6.1)\r\n";
+        b.iter(|| {
+            let mut comp = Compressor::new();
+            let mut decomp = Decompressor::new();
+            for _ in 0..20 {
+                let z = comp.compress(block);
+                black_box(decomp.decompress(&z).expect("ok"));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_rrc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rrc");
+    g.sample_size(20);
+    g.bench_function("rrc3g_100k_gates", |b| {
+        b.iter(|| {
+            let mut m = Rrc3g::new(Rrc3gConfig::default());
+            let mut t = SimTime::ZERO;
+            for i in 0..100_000u64 {
+                let gate = m.gate(t, if i % 7 == 0 { 64 } else { 1380 });
+                m.note_activity(gate, 1380);
+                t = gate + SimDuration::from_millis(if i % 100 == 0 { 20_000 } else { 50 });
+            }
+            black_box(m.promotions().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("synthesize_site15", |b| {
+        let spec = SiteSpec::by_index(15).unwrap();
+        b.iter(|| {
+            let mut rng = DetRng::new(3);
+            black_box(synthesize(spec, &mut rng).object_count())
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                q.schedule(SimTime::from_micros(i * 37 % 1_000_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tcp,
+    bench_spdy,
+    bench_rrc,
+    bench_workload,
+    bench_event_queue
+);
+criterion_main!(benches);

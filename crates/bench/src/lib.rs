@@ -1,0 +1,73 @@
+//! # spdyier-bench
+//!
+//! Criterion benchmark harness for the reproduction. Three suites:
+//!
+//! * `figures` — one benchmark per paper table/figure, each executing the
+//!   corresponding experiment kernel end to end (single-seed) so that
+//!   regenerating any figure is a `cargo bench` target;
+//! * `substrates` — micro-benchmarks of the substrates (TCP transfer,
+//!   SPDY mux + header compression, RRC machine, page synthesis, DES
+//!   queue) that bound the testbed's own cost;
+//! * `ablations` — the §6 design-choice sweeps (RTT reset, slow-start
+//!   after idle, metrics cache, connection counts).
+//!
+//! The library part hosts shared single-run kernels so benchmarks and
+//! integration tests measure exactly the same code paths.
+
+#![warn(missing_docs)]
+
+use spdyier_core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode, RunResult};
+use spdyier_sim::{DetRng, SimDuration};
+use spdyier_workload::VisitSchedule;
+
+/// A single-visit run of `site` (Table 1 index) — the smallest kernel that
+/// still exercises browser + proxy + TCP + RRC end to end.
+pub fn single_visit(
+    protocol: ProtocolMode,
+    network: NetworkKind,
+    site: u32,
+    seed: u64,
+) -> RunResult {
+    let cfg = ExperimentConfig::paper_3g(protocol, seed)
+        .with_network(network)
+        .with_schedule(VisitSchedule::sequential(
+            vec![site],
+            SimDuration::from_secs(60),
+        ));
+    run_experiment(cfg)
+}
+
+/// A short three-site schedule (sites 5, 9, 12 — small/medium pages) used
+/// where the full 20-site schedule would make benches too slow.
+pub fn short_schedule_run(protocol: ProtocolMode, network: NetworkKind, seed: u64) -> RunResult {
+    let cfg = ExperimentConfig::paper_3g(protocol, seed)
+        .with_network(network)
+        .with_schedule(VisitSchedule::sequential(
+            vec![5, 9, 12],
+            SimDuration::from_secs(60),
+        ));
+    run_experiment(cfg)
+}
+
+/// The full paper schedule for one seed.
+pub fn full_run(protocol: ProtocolMode, network: NetworkKind, seed: u64) -> RunResult {
+    let mut rng = DetRng::new(seed).fork("schedule");
+    let cfg = ExperimentConfig::paper_3g(protocol, seed)
+        .with_network(network)
+        .with_schedule(VisitSchedule::paper_default(&mut rng));
+    run_experiment(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_complete() {
+        let r = single_visit(ProtocolMode::Http, NetworkKind::Wifi, 9, 1);
+        assert_eq!(r.visits.len(), 1);
+        assert!(r.visits[0].completed);
+        let r = short_schedule_run(ProtocolMode::spdy(), NetworkKind::Wifi, 1);
+        assert_eq!(r.visits.len(), 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-object timing records.
+//!
+//! The paper's Figure 5 splits every object's life into four steps:
+//! **init** (needed → requested: pool waits and TCP handshakes), **send**
+//! (request onto the wire), **wait** (request sent → first response byte),
+//! and **receive** (first byte → complete). These records capture the five
+//! boundary instants; the splits are derived.
+
+use serde::Serialize;
+use spdyier_sim::{SimDuration, SimTime};
+
+/// Boundary instants for one object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ObjectTiming {
+    /// Browser learned the object exists (parent evaluated).
+    pub discovered: Option<SimTime>,
+    /// Request handed to a connection (after any pool wait / handshake).
+    pub requested: Option<SimTime>,
+    /// Request fully written to the transport.
+    pub sent: Option<SimTime>,
+    /// First response byte arrived.
+    pub first_byte: Option<SimTime>,
+    /// Last response byte arrived.
+    pub complete: Option<SimTime>,
+}
+
+impl ObjectTiming {
+    /// Init step: discovery → request issue.
+    pub fn init_time(&self) -> Option<SimDuration> {
+        Some(self.requested?.saturating_since(self.discovered?))
+    }
+
+    /// Send step: request issue → fully written.
+    pub fn send_time(&self) -> Option<SimDuration> {
+        Some(self.sent?.saturating_since(self.requested?))
+    }
+
+    /// Wait step: request written → first response byte.
+    pub fn wait_time(&self) -> Option<SimDuration> {
+        Some(self.first_byte?.saturating_since(self.sent?))
+    }
+
+    /// Receive step: first byte → complete.
+    pub fn recv_time(&self) -> Option<SimDuration> {
+        Some(self.complete?.saturating_since(self.first_byte?))
+    }
+
+    /// Total life: discovery → complete.
+    pub fn total_time(&self) -> Option<SimDuration> {
+        Some(self.complete?.saturating_since(self.discovered?))
+    }
+}
+
+/// Average the four steps across a set of objects (Fig. 5's bars),
+/// in milliseconds. Objects missing a boundary contribute zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct StepAverages {
+    /// Mean init step, ms.
+    pub init_ms: f64,
+    /// Mean send step, ms.
+    pub send_ms: f64,
+    /// Mean wait step, ms.
+    pub wait_ms: f64,
+    /// Mean receive step, ms.
+    pub recv_ms: f64,
+}
+
+impl StepAverages {
+    /// Compute from a set of object timings.
+    pub fn from_timings(timings: &[ObjectTiming]) -> StepAverages {
+        let n = timings.len().max(1) as f64;
+        let ms = |d: Option<SimDuration>| d.map_or(0.0, |d| d.as_secs_f64() * 1e3);
+        let mut out = StepAverages::default();
+        for t in timings {
+            out.init_ms += ms(t.init_time());
+            out.send_ms += ms(t.send_time());
+            out.wait_ms += ms(t.wait_time());
+            out.recv_ms += ms(t.recv_time());
+        }
+        out.init_ms /= n;
+        out.send_ms /= n;
+        out.wait_ms /= n;
+        out.recv_ms /= n;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn splits_derive_from_boundaries() {
+        let timing = ObjectTiming {
+            discovered: Some(t(100)),
+            requested: Some(t(180)),
+            sent: Some(t(181)),
+            first_byte: Some(t(400)),
+            complete: Some(t(450)),
+        };
+        assert_eq!(timing.init_time(), Some(SimDuration::from_millis(80)));
+        assert_eq!(timing.send_time(), Some(SimDuration::from_millis(1)));
+        assert_eq!(timing.wait_time(), Some(SimDuration::from_millis(219)));
+        assert_eq!(timing.recv_time(), Some(SimDuration::from_millis(50)));
+        assert_eq!(timing.total_time(), Some(SimDuration::from_millis(350)));
+    }
+
+    #[test]
+    fn incomplete_objects_have_no_splits() {
+        let timing = ObjectTiming {
+            discovered: Some(t(1)),
+            ..Default::default()
+        };
+        assert_eq!(timing.init_time(), None);
+        assert_eq!(timing.total_time(), None);
+    }
+
+    #[test]
+    fn averages_over_objects() {
+        let a = ObjectTiming {
+            discovered: Some(t(0)),
+            requested: Some(t(100)),
+            sent: Some(t(100)),
+            first_byte: Some(t(300)),
+            complete: Some(t(400)),
+        };
+        let b = ObjectTiming {
+            discovered: Some(t(0)),
+            requested: Some(t(300)),
+            sent: Some(t(300)),
+            first_byte: Some(t(700)),
+            complete: Some(t(800)),
+        };
+        let avg = StepAverages::from_timings(&[a, b]);
+        assert_eq!(avg.init_ms, 200.0);
+        assert_eq!(avg.send_ms, 0.0);
+        assert_eq!(avg.wait_ms, 300.0);
+        assert_eq!(avg.recv_ms, 100.0);
+    }
+}

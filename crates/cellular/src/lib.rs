@@ -1,0 +1,34 @@
+//! # spdyier-cellular
+//!
+//! Cellular radio substrate for the SPDY'ier reproduction testbed: the
+//! 3GPP radio resource control (RRC) state machines whose promotion delays
+//! are the root cause the paper identifies, plus RRC-gated duplex bearer
+//! links and radio energy accounting.
+//!
+//! * [`Rrc3g`] — `IDLE`/`CELL_FACH`/`CELL_DCH` with ~2 s promotions;
+//! * [`RrcLte`] — `RRC_IDLE`/`RRC_CONNECTED` with DRX sub-states and a
+//!   ~0.4 s promotion;
+//! * [`CellularPath`] — a duplex pair of bearer links sharing one radio;
+//! * [`path::presets`] — the calibrated 3G / LTE / pinned-3G environments.
+//!
+//! ```
+//! use spdyier_cellular::{Rrc3g, Rrc3gConfig, Rrc3gState};
+//! use spdyier_sim::SimTime;
+//!
+//! let mut radio = Rrc3g::new(Rrc3gConfig::default());
+//! // First packet for an idle device waits out the full 2 s promotion.
+//! let gate = radio.gate(SimTime::ZERO, 1380);
+//! assert_eq!(gate, SimTime::from_millis(2000));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod path;
+pub mod rrc3g;
+pub mod rrclte;
+
+pub use energy::EnergyMeter;
+pub use path::{presets, CellularPath, Radio};
+pub use rrc3g::{PromotionEvent, PromotionKind, Rrc3g, Rrc3gConfig, Rrc3gState};
+pub use rrclte::{RrcLte, RrcLteConfig, RrcLteState};

@@ -1,0 +1,95 @@
+//! Cross-layer analysis: attributing TCP retransmissions to radio-state
+//! transitions — the analytical core of the paper's §5.5–§5.7.
+
+use crate::results::RunResult;
+use serde::Serialize;
+use spdyier_sim::SimDuration;
+
+/// Per-run cross-layer attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct CrossLayerReport {
+    /// Total TCP retransmissions observed on the access path.
+    pub retransmissions: u64,
+    /// RTO-driven retransmissions (vs fast retransmits).
+    pub timeouts: u64,
+    /// Actual packet drops on the downlink (queue + loss).
+    pub downlink_drops: u64,
+    /// Retransmissions not explained by an actual drop — the spurious
+    /// estimate (the paper found essentially *all* were spurious on 3G).
+    pub spurious_estimate: u64,
+    /// Retransmissions falling inside (or just after) an RRC promotion.
+    pub promotion_correlated: u64,
+    /// RRC promotions during the run.
+    pub promotions: u64,
+    /// RFC 2861 idle restarts taken by senders.
+    pub idle_restarts: u64,
+    /// Fraction of retransmissions that are promotion-correlated.
+    pub promotion_fraction: f64,
+}
+
+/// Analyze one run.
+#[allow(clippy::field_reassign_with_default)]
+pub fn analyze(result: &RunResult) -> CrossLayerReport {
+    let rtx = result.total_retransmissions;
+    let (queue_drops, loss_drops) = result.downlink_drops;
+    let drops = queue_drops + loss_drops;
+    let spurious = rtx.saturating_sub(drops);
+    let correlated = result.promotion_correlated_rtx(SimDuration::from_secs(1)) as u64;
+    CrossLayerReport {
+        retransmissions: rtx,
+        timeouts: result.total_timeouts,
+        downlink_drops: drops,
+        spurious_estimate: spurious,
+        promotion_correlated: correlated,
+        promotions: result.promotions.len() as u64,
+        idle_restarts: result.total_idle_restarts,
+        promotion_fraction: if rtx == 0 {
+            0.0
+        } else {
+            correlated as f64 / rtx as f64
+        },
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use spdyier_cellular::{PromotionEvent, PromotionKind};
+    use spdyier_sim::SimTime;
+
+    #[test]
+    fn spurious_estimate_subtracts_real_drops() {
+        let mut r = RunResult::default();
+        r.total_retransmissions = 50;
+        r.downlink_drops = (3, 2);
+        let report = analyze(&r);
+        assert_eq!(report.spurious_estimate, 45);
+        assert_eq!(report.downlink_drops, 5);
+    }
+
+    #[test]
+    fn promotion_fraction_counts_windowed_rtx() {
+        let mut r = RunResult::default();
+        r.total_retransmissions = 4;
+        r.promotions.push(PromotionEvent {
+            start: SimTime::from_secs(5),
+            done: SimTime::from_secs(7),
+            kind: PromotionKind::IdleToDch,
+        });
+        r.retransmissions.mark(SimTime::from_secs(6));
+        r.retransmissions.mark(SimTime::from_millis(7_200));
+        r.retransmissions.mark(SimTime::from_secs(20));
+        r.retransmissions.mark(SimTime::from_secs(21));
+        let report = analyze(&r);
+        assert_eq!(report.promotion_correlated, 2);
+        assert!((report.promotion_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rtx_zero_fraction() {
+        let report = analyze(&RunResult::default());
+        assert_eq!(report.promotion_fraction, 0.0);
+        assert_eq!(report.spurious_estimate, 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Experiment configuration.
+//!
+//! Every knob the paper turns is a field here: access network (3G / LTE /
+//! WiFi / 3G-pinned-in-DCH), protocol (HTTP pool vs one-or-many SPDY
+//! sessions, with or without late binding), the TCP sysctls, the metrics
+//! cache, the Fig. 14 keepalive ping, and the periodic site traffic that
+//! §5.7 identifies as a timeout trigger.
+
+use spdyier_cellular::{presets as cell_presets, CellularPath, Radio};
+use spdyier_net::{presets as net_presets, Direction, DuplexPath, LinkVerdict, LossModel};
+use spdyier_sim::{DetRng, SimDuration, SimTime};
+use spdyier_tcp::TcpConfig;
+use spdyier_workload::VisitSchedule;
+
+/// The access network between device and proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Production 3G UMTS with the IDLE/FACH/DCH RRC machine.
+    Umts3G,
+    /// The same bearer with the radio pinned active (Fig. 14's ideal).
+    Umts3GPinned,
+    /// LTE with its faster RRC machine (§5.6.2).
+    Lte,
+    /// The §4.0.1 residential 802.11g/broadband control environment.
+    Wifi,
+}
+
+impl NetworkKind {
+    /// Instantiate the access path.
+    pub fn build(self) -> AccessPath {
+        match self {
+            NetworkKind::Umts3G => AccessPath::Cellular(cell_presets::umts_3g()),
+            NetworkKind::Umts3GPinned => AccessPath::Cellular(cell_presets::umts_3g_pinned()),
+            NetworkKind::Lte => AccessPath::Cellular(cell_presets::lte()),
+            NetworkKind::Wifi => AccessPath::Plain(net_presets::broadband_wifi()),
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::Umts3G => "3G",
+            NetworkKind::Umts3GPinned => "3G-pinned",
+            NetworkKind::Lte => "LTE",
+            NetworkKind::Wifi => "WiFi",
+        }
+    }
+}
+
+/// A built access path (cellular with an RRC radio, or a plain duplex
+/// path).
+#[derive(Debug)]
+pub enum AccessPath {
+    /// RRC-gated cellular bearer.
+    Cellular(CellularPath),
+    /// Plain wired/WiFi path.
+    Plain(DuplexPath),
+}
+
+impl AccessPath {
+    /// Offer a packet in `dir` at `now`.
+    pub fn send(
+        &mut self,
+        dir: Direction,
+        now: SimTime,
+        bytes: u64,
+        rng: &mut DetRng,
+    ) -> LinkVerdict {
+        match self {
+            AccessPath::Cellular(p) => p.send(dir, now, bytes, rng),
+            AccessPath::Plain(p) => p.send(dir, now, bytes, rng),
+        }
+    }
+
+    /// Base round-trip time.
+    pub fn base_rtt(&self) -> SimDuration {
+        match self {
+            AccessPath::Cellular(p) => p.base_rtt(),
+            AccessPath::Plain(p) => p.base_rtt(),
+        }
+    }
+
+    /// The radio, if this is a cellular path.
+    pub fn radio_mut(&mut self) -> Option<&mut Radio> {
+        match self {
+            AccessPath::Cellular(p) => Some(p.radio_mut()),
+            AccessPath::Plain(_) => None,
+        }
+    }
+
+    /// Promotions taken so far (empty on plain paths).
+    pub fn promotions(&self) -> Vec<spdyier_cellular::PromotionEvent> {
+        match self {
+            AccessPath::Cellular(p) => p.radio().promotions().to_vec(),
+            AccessPath::Plain(_) => Vec::new(),
+        }
+    }
+
+    /// Downlink drop counters `(queue_drops, loss_drops)`.
+    pub fn down_drops(&self) -> (u64, u64) {
+        let stats = match self {
+            AccessPath::Cellular(p) => p.link(Direction::Down).stats(),
+            AccessPath::Plain(p) => p.link(Direction::Down).stats(),
+        };
+        (stats.queue_drops, stats.loss_drops)
+    }
+
+    /// Radio energy consumed so far, mJ.
+    pub fn energy_mj(&mut self, now: SimTime) -> f64 {
+        match self {
+            AccessPath::Cellular(p) => p.radio_mut().energy_mj(now),
+            AccessPath::Plain(_) => 0.0,
+        }
+    }
+
+    /// Inject a loss model on both directions (fault injection).
+    pub fn set_loss(&mut self, loss: LossModel) {
+        for dir in [Direction::Down, Direction::Up] {
+            match self {
+                AccessPath::Cellular(p) => {
+                    let cfg = p.link(dir).config().with_loss(loss);
+                    p.link_mut(dir).set_config(cfg);
+                }
+                AccessPath::Plain(p) => {
+                    let cfg = p.link(dir).config().with_loss(loss);
+                    p.link_mut(dir).set_config(cfg);
+                }
+            }
+        }
+    }
+}
+
+/// Protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// HTTP/1.1 through the Squid-like proxy, Chrome pool limits.
+    Http,
+    /// SPDY/3 through the SPDY proxy.
+    Spdy {
+        /// Number of parallel SPDY sessions (1 in the paper's baseline;
+        /// 20 in the §6.1 experiment).
+        connections: usize,
+        /// §6.1's late binding: responses return on whichever session can
+        /// transmit, not the one that carried the request.
+        late_binding: bool,
+    },
+}
+
+impl ProtocolMode {
+    /// The paper's baseline SPDY configuration.
+    pub fn spdy() -> ProtocolMode {
+        ProtocolMode::Spdy {
+            connections: 1,
+            late_binding: false,
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolMode::Http => "HTTP",
+            ProtocolMode::Spdy {
+                connections: 1,
+                late_binding: false,
+            } => "SPDY",
+            ProtocolMode::Spdy {
+                late_binding: true, ..
+            } => "SPDY-latebind",
+            ProtocolMode::Spdy { .. } => "SPDY-multi",
+        }
+    }
+}
+
+/// Periodic background site traffic (ads, analytics, refreshes — §5.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconConfig {
+    /// Interval between beacons after a page finishes loading.
+    pub interval: SimDuration,
+    /// Beacon response size, bytes.
+    pub size: u64,
+    /// Beacons fired per visit before the page goes quiet (analytics and
+    /// ad refreshes burst after load, then stop).
+    pub max_per_visit: u32,
+    /// One further beacon this long after the last regular one — a slow
+    /// ad-exchange refresh or long-poll completing after the radio has
+    /// fully idled (the deep mid-interval retransmission bursts of the
+    /// paper's Fig. 11).
+    pub late_gap: Option<SimDuration>,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        BeaconConfig {
+            // Periodic site traffic (ads, analytics, refreshes — §5.7)
+            // keeps arriving through the think time; each arrival finds a
+            // demoted radio and pays a promotion — the paper's
+            // mid-interval retransmission bursts (Fig. 11).
+            interval: SimDuration::from_secs(20),
+            size: 2_048,
+            max_per_visit: u32::MAX,
+            late_gap: None,
+        }
+    }
+}
+
+/// Where visited pages come from.
+#[derive(Debug, Clone)]
+pub enum PageSource {
+    /// Synthesize from the Table 1 site specs (schedule indices are
+    /// 1-based Table 1 rows); each visit uses a fresh seed fork.
+    Table1,
+    /// A fixed list of custom pages; schedule indices are 1-based indices
+    /// into this list (the §5.2 synthetic test pages).
+    Custom(Vec<spdyier_workload::WebPage>),
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Root seed; everything stochastic forks from it.
+    pub seed: u64,
+    /// Access network.
+    pub network: NetworkKind,
+    /// Protocol under test.
+    pub protocol: ProtocolMode,
+    /// TCP configuration for the device↔proxy leg.
+    pub tcp: TcpConfig,
+    /// Cache ssthresh/RTT per destination across connections (Linux
+    /// default; §6.2.4 tests disabling it).
+    pub cache_metrics: bool,
+    /// Background ping keeping the radio in DCH (Fig. 14).
+    pub keepalive_ping: Option<SimDuration>,
+    /// Periodic site traffic after load (None disables).
+    pub beacon: Option<BeaconConfig>,
+    /// Page visit schedule.
+    pub schedule: VisitSchedule,
+    /// Where pages come from.
+    pub pages: PageSource,
+    /// Abandon a visit (censored PLT) at this deadline.
+    pub visit_timeout: SimDuration,
+    /// Record full TCP traces (cwnd/ssthresh/inflight).
+    pub record_traces: bool,
+    /// Extra round trips charged when a SPDY (SSL) session is established.
+    pub ssl_setup_rtts: u32,
+    /// Close HTTP client connections idle for this long (Chrome's
+    /// idle-socket reaping; keeps HTTP connections short-lived across
+    /// sites as the paper observes). With the 3G demotion timers this
+    /// means FINs ride CELL_FACH rather than paying a promotion.
+    pub http_idle_close: Option<SimDuration>,
+    /// Outstanding requests per HTTP connection. 1 reproduces the paper
+    /// (Squid's pipelining was too rudimentary to enable); larger values
+    /// test the Fig. 1(c) pipelining the paper could not measure.
+    pub http_pipelining: usize,
+    /// Override the radio's idle→active promotion delay (sensitivity
+    /// sweeps; `None` keeps the preset's value).
+    pub rrc_promotion_override: Option<SimDuration>,
+    /// Inject random loss on the access path (fault injection; residual
+    /// loss the radio link layer failed to hide).
+    pub access_loss: Option<LossModel>,
+}
+
+impl ExperimentConfig {
+    /// The paper's baseline 3G configuration for the given protocol.
+    pub fn paper_3g(protocol: ProtocolMode, seed: u64) -> ExperimentConfig {
+        let rng = DetRng::new(seed);
+        ExperimentConfig {
+            seed,
+            network: NetworkKind::Umts3G,
+            protocol,
+            tcp: TcpConfig::default(),
+            cache_metrics: true,
+            keepalive_ping: None,
+            beacon: Some(BeaconConfig::default()),
+            schedule: VisitSchedule::paper_default(&mut rng.fork("schedule")),
+            pages: PageSource::Table1,
+            visit_timeout: SimDuration::from_secs(60),
+            record_traces: false,
+            ssl_setup_rtts: 2,
+            http_idle_close: Some(SimDuration::from_secs(10)),
+            http_pipelining: 1,
+            rrc_promotion_override: None,
+            access_loss: None,
+        }
+    }
+
+    /// Builder: swap the network.
+    pub fn with_network(mut self, network: NetworkKind) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Builder: enable tracing.
+    pub fn with_traces(mut self) -> Self {
+        self.record_traces = true;
+        self
+    }
+
+    /// Builder: restrict the schedule.
+    pub fn with_schedule(mut self, schedule: VisitSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Builder: visit custom pages instead of Table 1 sites.
+    pub fn with_custom_pages(mut self, pages: Vec<spdyier_workload::WebPage>) -> Self {
+        self.pages = PageSource::Custom(pages);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_builders_produce_expected_paths() {
+        assert!(matches!(
+            NetworkKind::Umts3G.build(),
+            AccessPath::Cellular(_)
+        ));
+        assert!(matches!(NetworkKind::Wifi.build(), AccessPath::Plain(_)));
+        assert_eq!(NetworkKind::Lte.label(), "LTE");
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(ProtocolMode::Http.label(), "HTTP");
+        assert_eq!(ProtocolMode::spdy().label(), "SPDY");
+        assert_eq!(
+            ProtocolMode::Spdy {
+                connections: 20,
+                late_binding: false
+            }
+            .label(),
+            "SPDY-multi"
+        );
+        assert_eq!(
+            ProtocolMode::Spdy {
+                connections: 20,
+                late_binding: true
+            }
+            .label(),
+            "SPDY-latebind"
+        );
+    }
+
+    #[test]
+    fn paper_3g_defaults_match_methodology() {
+        let cfg = ExperimentConfig::paper_3g(ProtocolMode::Http, 7);
+        assert_eq!(cfg.schedule.order.len(), 20);
+        assert_eq!(cfg.visit_timeout, SimDuration::from_secs(60));
+        assert!(cfg.cache_metrics);
+        assert!(cfg.keepalive_ping.is_none());
+        assert!(cfg.beacon.is_some());
+        assert_eq!(cfg.http_idle_close, Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ExperimentConfig::paper_3g(ProtocolMode::Http, 7);
+        let b = ExperimentConfig::paper_3g(ProtocolMode::spdy(), 7);
+        assert_eq!(
+            a.schedule.order, b.schedule.order,
+            "HTTP and SPDY runs visit sites in the same order"
+        );
+    }
+}

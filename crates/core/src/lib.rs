@@ -1,0 +1,29 @@
+//! # spdyier-core
+//!
+//! The assembled testbed for *"Towards a SPDY'ier Mobile Web?"*: a
+//! deterministic discrete-event driver that loads real synthesized pages
+//! through real HTTP/1.1 or SPDY/3 protocol stacks, over real sans-IO TCP
+//! connections, across an RRC-gated cellular (or WiFi) access path and a
+//! wired cloud path to modelled origins — reproducing the paper's
+//! measurement topology (its Fig. 2) end to end.
+//!
+//! ```no_run
+//! use spdyier_core::{run_experiment, ExperimentConfig, ProtocolMode};
+//!
+//! let cfg = ExperimentConfig::paper_3g(ProtocolMode::Http, /*seed*/ 1);
+//! let result = run_experiment(cfg);
+//! println!("median-ish PLT sample: {:?} ms", result.plts_ms().first());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod config;
+pub mod driver;
+pub mod export;
+pub mod results;
+
+pub use config::{AccessPath, BeaconConfig, ExperimentConfig, NetworkKind, ProtocolMode};
+pub use driver::{run_experiment, Testbed};
+pub use export::{export_run, write_to_dir, DataFile};
+pub use results::{ConnTraceResult, RunResult, VisitResult};

@@ -1,0 +1,140 @@
+//! Terminal rendering of the regenerated figures: grouped bars for the
+//! per-site comparisons and step traces for the congestion-window plots —
+//! so `experiments fig3` shows a *figure*, not only a table.
+
+/// Render paired horizontal bars (e.g. HTTP vs SPDY per site).
+///
+/// Each row prints two bars scaled to the global maximum, labelled with
+/// their values.
+pub fn paired_bars(
+    rows: &[(String, f64, f64)],
+    label_a: &str,
+    label_b: &str,
+    width: usize,
+) -> String {
+    let max = rows
+        .iter()
+        .flat_map(|(_, a, b)| [*a, *b])
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let mut out = String::new();
+    for (name, a, b) in rows {
+        let bar = |v: f64| "█".repeat(((v / max) * width as f64).round() as usize);
+        out.push_str(&format!(
+            "{name:>8} {label_a:>5} |{:<width$}| {a:>8.0}\n",
+            bar(*a)
+        ));
+        out.push_str(&format!(
+            "{:>8} {label_b:>5} |{:<width$}| {b:>8.0}\n",
+            "",
+            bar(*b)
+        ));
+    }
+    out
+}
+
+/// Render a step trace (e.g. cwnd over time) as a compact height-banded
+/// chart: one output row per band, one column per sample.
+pub fn step_trace(samples: &[f64], height: usize, x_label: &str, y_label: &str) -> String {
+    if samples.is_empty() || height == 0 {
+        return String::new();
+    }
+    let max = samples.iter().cloned().fold(0.0_f64, f64::max).max(1e-9);
+    let mut out = String::new();
+    for band in (1..=height).rev() {
+        let threshold = max * band as f64 / height as f64;
+        let prev_threshold = max * (band - 1) as f64 / height as f64;
+        let row: String = samples
+            .iter()
+            .map(|&v| {
+                if v >= threshold {
+                    '█'
+                } else if v > prev_threshold {
+                    '▄'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        let tick = if band == height {
+            format!("{max:>7.0}")
+        } else if band == 1 {
+            format!("{:>7.0}", max / height as f64)
+        } else {
+            "       ".to_string()
+        };
+        out.push_str(&format!("{tick} |{row}|\n"));
+    }
+    out.push_str(&format!(
+        "{:>7} +{}+\n{:>9}{} → {}\n",
+        y_label,
+        "-".repeat(samples.len()),
+        "",
+        x_label,
+        "end"
+    ));
+    out
+}
+
+/// Mark discrete events (e.g. retransmissions) on an axis of `len`
+/// columns covering `[0, span)`.
+pub fn event_axis(events_at: &[f64], span: f64, len: usize, label: &str) -> String {
+    let mut row = vec![' '; len];
+    for &at in events_at {
+        if at >= 0.0 && at < span {
+            let idx = ((at / span) * len as f64) as usize;
+            row[idx.min(len - 1)] = '×';
+        }
+    }
+    format!(
+        "{:>7} |{}| ({} events)\n",
+        label,
+        row.iter().collect::<String>(),
+        events_at.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_bars_scale_to_max() {
+        let rows = vec![
+            ("s1".to_string(), 100.0, 50.0),
+            ("s2".to_string(), 25.0, 100.0),
+        ];
+        let out = paired_bars(&rows, "HTTP", "SPDY", 20);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(&"█".repeat(20)), "full bar for the max");
+        assert!(lines[1].contains(&"█".repeat(10)), "half bar");
+        assert!(lines[0].trim_end().ends_with("100"));
+    }
+
+    #[test]
+    fn step_trace_has_height_rows_plus_axis() {
+        let samples = vec![0.0, 5.0, 10.0, 5.0, 0.0];
+        let out = step_trace(&samples, 4, "t", "cwnd");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4 + 2);
+        // Peak column is filled in the top band.
+        assert!(lines[0].contains('█'));
+    }
+
+    #[test]
+    fn step_trace_empty_is_empty() {
+        assert!(step_trace(&[], 4, "t", "y").is_empty());
+        assert!(step_trace(&[1.0], 0, "t", "y").is_empty());
+    }
+
+    #[test]
+    fn event_axis_places_marks() {
+        let out = event_axis(&[0.0, 50.0, 99.0], 100.0, 10, "rtx");
+        assert_eq!(out.matches('×').count(), 3);
+        assert!(out.contains("(3 events)"));
+        // Out-of-range events are dropped.
+        let out2 = event_axis(&[150.0], 100.0, 10, "rtx");
+        assert_eq!(out2.matches('×').count(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The `experiments` binary: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id|all> [--seeds N] [--json DIR]
+//! experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]
+//! ```
+//!
+//! The `export` form runs one full schedule with traces and writes
+//! gnuplot-ready `.dat` files (PLTs, per-second downlink, bytes in
+//! flight, retransmissions, promotions, proxy timelines, per-connection
+//! cwnd traces) to `DIR`.
+
+use spdyier_core::{export_run, write_to_dir, NetworkKind, ProtocolMode};
+use spdyier_experiments::{run_by_id, run_schedule, ExpOpts, ALL_EXPERIMENTS};
+use std::io::Write;
+
+fn run_export(args: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!("usage: experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
+        std::process::exit(2);
+    };
+    if args.len() < 3 {
+        usage();
+    }
+    let protocol = match args[0].as_str() {
+        "http" => ProtocolMode::Http,
+        "spdy" => ProtocolMode::spdy(),
+        _ => usage(),
+    };
+    let network = match args[1].as_str() {
+        "3g" => NetworkKind::Umts3G,
+        "lte" => NetworkKind::Lte,
+        "wifi" => NetworkKind::Wifi,
+        "3g-pinned" => NetworkKind::Umts3GPinned,
+        _ => usage(),
+    };
+    let dir = std::path::PathBuf::from(&args[2]);
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let result = run_schedule(protocol, network, seed, true);
+    let files = export_run(&result);
+    let paths = write_to_dir(&files, &dir).expect("write export dir");
+    for p in &paths {
+        println!("wrote {}", p.display());
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <id|all> [--seeds N] [--json DIR]");
+        eprintln!("ids: {}", ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    if args[0] == "export" {
+        run_export(&args[1..]);
+    }
+    let mut opts = ExpOpts::default();
+    let mut json_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                opts.seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seeds needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.iter().any(|x| x == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run_by_id(id, opts) {
+            Some(report) => {
+                println!("{}", report.render());
+                println!("[{} completed in {:.1?}]\n", id, started.elapsed());
+                if let Some(dir) = &json_dir {
+                    std::fs::create_dir_all(dir).expect("create json dir");
+                    let path = format!("{dir}/{id}.json");
+                    let mut f = std::fs::File::create(&path).expect("create json file");
+                    let blob = serde_json::json!({
+                        "id": report.id,
+                        "title": report.title,
+                        "paper_claim": report.paper_claim,
+                        "data": report.data,
+                    });
+                    writeln!(
+                        f,
+                        "{}",
+                        serde_json::to_string_pretty(&blob).expect("serialize")
+                    )
+                    .expect("write json");
+                    eprintln!("wrote {path}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                eprintln!("ids: {}", ALL_EXPERIMENTS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

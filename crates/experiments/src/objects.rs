@@ -1,0 +1,189 @@
+//! Object-level analyses: Fig. 5 (download-time breakdown), Fig. 6
+//! (request patterns), Fig. 7 (synthetic test pages).
+
+use crate::{paired_runs, ExpOpts, Report};
+use serde_json::json;
+use spdyier_browser::StepAverages;
+use spdyier_core::{
+    run_experiment, ExperimentConfig, NetworkKind, ProtocolMode, RunResult, VisitResult,
+};
+use spdyier_sim::SimDuration;
+use spdyier_workload::{test_page, VisitSchedule};
+
+fn visits_for_site<'a>(runs: &[&'a RunResult], site: u32) -> Vec<&'a VisitResult> {
+    runs.iter()
+        .flat_map(|r| r.visits.iter())
+        .filter(|v| v.site == site && v.completed)
+        .collect()
+}
+
+/// Fig. 5: average object download time split into init/send/wait/receive.
+pub fn fig5(opts: ExpOpts) -> Report {
+    let pairs = paired_runs(NetworkKind::Umts3G, opts, false);
+    let http: Vec<&RunResult> = pairs.iter().map(|(h, _)| h).collect();
+    let spdy: Vec<&RunResult> = pairs.iter().map(|(_, s)| s).collect();
+    let mut text =
+        String::from("site   HTTP init/send/wait/recv (ms)      SPDY init/send/wait/recv (ms)\n");
+    let mut rows = Vec::new();
+    let mut h_tot = StepAverages::default();
+    let mut s_tot = StepAverages::default();
+    for site in 1..=20u32 {
+        let avg_of = |runs: &[&RunResult]| {
+            let timings: Vec<_> = visits_for_site(runs, site)
+                .iter()
+                .flat_map(|v| v.object_timings.iter().copied())
+                .collect();
+            StepAverages::from_timings(&timings)
+        };
+        let h = avg_of(&http);
+        let s = avg_of(&spdy);
+        h_tot.init_ms += h.init_ms / 20.0;
+        h_tot.wait_ms += h.wait_ms / 20.0;
+        h_tot.recv_ms += h.recv_ms / 20.0;
+        s_tot.init_ms += s.init_ms / 20.0;
+        s_tot.wait_ms += s.wait_ms / 20.0;
+        s_tot.recv_ms += s.recv_ms / 20.0;
+        text.push_str(&format!(
+            "{:>4}   {:>5.0}/{:>3.0}/{:>5.0}/{:>5.0}            {:>5.0}/{:>3.0}/{:>5.0}/{:>5.0}\n",
+            site,
+            h.init_ms,
+            h.send_ms,
+            h.wait_ms,
+            h.recv_ms,
+            s.init_ms,
+            s.send_ms,
+            s.wait_ms,
+            s.recv_ms
+        ));
+        rows.push(json!({ "site": site, "http": h, "spdy": s }));
+    }
+    text.push_str(&format!(
+        "\noverall: HTTP init {:.0} ms vs SPDY init {:.0} ms (HTTP pays handshakes/pool waits)\n",
+        h_tot.init_ms, s_tot.init_ms
+    ));
+    text.push_str(&format!(
+        "overall: HTTP wait {:.0} ms vs SPDY wait {:.0} ms (SPDY queues at the proxy)\n",
+        h_tot.wait_ms, s_tot.wait_ms
+    ));
+    Report {
+        id: "fig5",
+        title: "Split of average object download times",
+        paper_claim: "send ≈ 0 for both; HTTP has high init (connection setup/reuse waits); SPDY has near-zero init but much higher wait",
+        text,
+        data: json!({ "sites": rows }),
+    }
+}
+
+/// Fig. 6: object request patterns for four sites (two news-heavy, two
+/// photo-heavy), as cumulative requests over time since visit start.
+pub fn fig6(opts: ExpOpts) -> Report {
+    let _ = opts;
+    let pairs = paired_runs(NetworkKind::Umts3G, ExpOpts { seeds: 1 }, false);
+    let (http, spdy) = &pairs[0];
+    let sites = [7u32, 15, 12, 18];
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for site in sites {
+        for (label, run) in [("HTTP", http), ("SPDY", spdy)] {
+            let Some(v) = run.visits.iter().find(|v| v.site == site) else {
+                continue;
+            };
+            let mut req_ms: Vec<f64> = v
+                .object_timings
+                .iter()
+                .filter_map(|t| t.requested)
+                .map(|t| t.saturating_since(v.start).as_secs_f64() * 1e3)
+                .collect();
+            req_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Count distinct request "waves" (steps): gaps > 250 ms.
+            let waves = 1 + req_ms.windows(2).filter(|w| w[1] - w[0] > 250.0).count();
+            text.push_str(&format!(
+                "site {:>2} {:>4}: {:>3} requests over {:>6.0} ms in {} wave(s)\n",
+                site,
+                label,
+                req_ms.len(),
+                req_ms.last().copied().unwrap_or(0.0),
+                waves
+            ));
+            data.push(
+                json!({ "site": site, "protocol": label, "request_ms": req_ms, "waves": waves }),
+            );
+        }
+    }
+    text.push_str(
+        "\nSPDY requests arrive in discrete waves (steps) because JS/CSS must download and\nevaluate before dependent objects are discovered; HTTP trickles continuously,\nbounded by its connection pool.\n",
+    );
+    Report {
+        id: "fig6",
+        title: "Object request patterns",
+        paper_claim:
+            "SPDY requests objects in steps, not all at once, due to page interdependencies",
+        text,
+        data: json!({ "series": data }),
+    }
+}
+
+/// Fig. 7: the two §5.2 synthetic 50-object test pages (same vs different
+/// domains), with no interdependencies.
+pub fn fig7(opts: ExpOpts) -> Report {
+    let mut text = String::from(
+        "page                protocol   PLT (s)   requests issued within (ms of root parse)\n",
+    );
+    let mut rows = Vec::new();
+    for (variant, same) in [("same-domain", true), ("diff-domains", false)] {
+        for protocol in [ProtocolMode::Http, ProtocolMode::spdy()] {
+            let mut plts = Vec::new();
+            let mut req_span = Vec::new();
+            for seed in 0..opts.seeds {
+                let page = test_page(50, 40_000, same);
+                let cfg = ExperimentConfig::paper_3g(protocol, seed)
+                    .with_network(NetworkKind::Umts3G)
+                    .with_schedule(VisitSchedule::sequential(
+                        vec![1],
+                        SimDuration::from_secs(60),
+                    ))
+                    .with_custom_pages(vec![page]);
+                let r = run_experiment(cfg);
+                let v = &r.visits[0];
+                plts.push(v.plt_ms / 1e3);
+                // Span between first and last image request.
+                let reqs: Vec<f64> = v.object_timings[1..]
+                    .iter()
+                    .filter_map(|t| t.requested)
+                    .map(|t| t.saturating_since(v.start).as_secs_f64() * 1e3)
+                    .collect();
+                if let (Some(min), Some(max)) = (
+                    reqs.iter().cloned().reduce(f64::min),
+                    reqs.iter().cloned().reduce(f64::max),
+                ) {
+                    req_span.push(max - min);
+                }
+            }
+            let plt = spdyier_sim::stats::mean(&plts);
+            let span = spdyier_sim::stats::mean(&req_span);
+            text.push_str(&format!(
+                "{:<18}  {:<8}  {:>6.2}    {:>6.0}\n",
+                variant,
+                protocol.label(),
+                plt,
+                span
+            ));
+            rows.push(json!({
+                "variant": variant,
+                "protocol": protocol.label(),
+                "plt_s": plt,
+                "request_span_ms": span,
+            }));
+        }
+    }
+    text.push_str(
+        "\npaper measured: HTTP 5.29 s (same) / 6.80 s (diff); SPDY 7.22 s / 8.38 s —\nremoving interdependencies does not rescue SPDY; prioritization alone is not a panacea.\n",
+    );
+    Report {
+        id: "fig7",
+        title: "Synthetic 50-object test pages",
+        paper_claim: "SPDY requests everything at once but still loads slower than HTTP on 3G (7.22/8.38 s vs 5.29/6.80 s)",
+        text,
+        data: json!({ "rows": rows }),
+    }
+}

@@ -1,0 +1,289 @@
+//! Incremental HTTP/1.1 parsers.
+//!
+//! Bytes arrive from TCP in arbitrary chunks; these parsers buffer until a
+//! complete head (`\r\n\r\n`) and `Content-Length` body are available, then
+//! yield whole messages.
+
+use crate::message::{Request, Response};
+use bytes::{Bytes, BytesMut};
+
+/// Error raised on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HTTP parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parsed start line tokens plus header pairs.
+type HeadParts<'a> = (Vec<&'a str>, Vec<(String, String)>);
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn split_headers(head: &str) -> Result<HeadParts<'_>, ParseError> {
+    let mut lines = head.split("\r\n");
+    let start = lines
+        .next()
+        .ok_or_else(|| ParseError("empty head".into()))?;
+    let start_parts: Vec<&str> = start.split(' ').collect();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError(format!("bad header line: {line}")))?;
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+    }
+    Ok((start_parts, headers))
+}
+
+/// Incremental parser for a stream of requests (server side).
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: BytesMut,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Feed newly received bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Extract the next complete request, if buffered.
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            return Ok(None);
+        };
+        let head = self.buf.split_to(head_end);
+        let head_str = std::str::from_utf8(&head[..head_end - 4])
+            .map_err(|_| ParseError("non-UTF8 head".into()))?;
+        let (start, mut headers) = split_headers(head_str)?;
+        if start.len() != 3 {
+            return Err(ParseError(format!("bad request line: {start:?}")));
+        }
+        let method = start[0].to_owned();
+        let target = start[1];
+        // Absolute-form (proxy) or origin-form.
+        let (host, path) = if let Some(rest) = target.strip_prefix("http://") {
+            match rest.find('/') {
+                Some(idx) => (rest[..idx].to_owned(), rest[idx..].to_owned()),
+                None => (rest.to_owned(), "/".to_owned()),
+            }
+        } else {
+            let host = headers
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case("host"))
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            (host, target.to_owned())
+        };
+        headers.retain(|(n, _)| !n.eq_ignore_ascii_case("host"));
+        Ok(Some(Request {
+            method,
+            host,
+            path,
+            headers,
+        }))
+    }
+}
+
+/// Incremental parser for a stream of responses (client side).
+#[derive(Debug, Default)]
+pub struct ResponseParser {
+    buf: BytesMut,
+    /// Set once a head has been parsed; `(response-so-far, body_remaining)`.
+    pending: Option<(Response, usize)>,
+}
+
+impl ResponseParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> ResponseParser {
+        ResponseParser::default()
+    }
+
+    /// Feed newly received bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed into a message.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extract the next complete response, if buffered.
+    pub fn next_response(&mut self) -> Result<Option<Response>, ParseError> {
+        if self.pending.is_none() {
+            let Some(head_end) = find_head_end(&self.buf) else {
+                return Ok(None);
+            };
+            let head = self.buf.split_to(head_end);
+            let head_str = std::str::from_utf8(&head[..head_end - 4])
+                .map_err(|_| ParseError("non-UTF8 head".into()))?;
+            let (start, headers) = split_headers(head_str)?;
+            if start.len() < 2 {
+                return Err(ParseError(format!("bad status line: {start:?}")));
+            }
+            let status: u16 = start[1]
+                .parse()
+                .map_err(|_| ParseError(format!("bad status: {}", start[1])))?;
+            let body_len: usize = headers
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+                .map(|(_, v)| {
+                    v.parse()
+                        .map_err(|_| ParseError("bad content-length".into()))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let headers: Vec<(String, String)> = headers
+                .into_iter()
+                .filter(|(n, _)| !n.eq_ignore_ascii_case("content-length"))
+                .collect();
+            self.pending = Some((
+                Response {
+                    status,
+                    headers,
+                    body: Bytes::new(),
+                },
+                body_len,
+            ));
+        }
+        let (_, body_len) = self.pending.as_ref().expect("set above");
+        if self.buf.len() < *body_len {
+            return Ok(None);
+        }
+        let (mut resp, body_len) = self.pending.take().expect("checked");
+        resp.body = self.buf.split_to(body_len).freeze();
+        Ok(Some(resp))
+    }
+
+    /// Bytes of body already received for the in-progress response — lets a
+    /// client observe first-byte timing.
+    pub fn in_progress(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Request, Response};
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::get("example.com", "/a/b?c=1").with_header("X-Id", "7");
+        let wire = req.encode();
+        let mut p = RequestParser::new();
+        p.push(&wire);
+        let got = p.next_request().unwrap().expect("complete");
+        assert_eq!(got.method, "GET");
+        assert_eq!(got.host, "example.com");
+        assert_eq!(got.path, "/a/b?c=1");
+        assert_eq!(got.header("X-Id"), Some("7"));
+        assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn request_split_across_chunks() {
+        let wire = Request::get("h.example", "/x").encode();
+        let mut p = RequestParser::new();
+        for b in wire.chunks(3) {
+            p.push(b);
+        }
+        let got = p.next_request().unwrap().expect("complete");
+        assert_eq!(got.host, "h.example");
+    }
+
+    #[test]
+    fn multiple_pipelined_requests() {
+        let mut p = RequestParser::new();
+        p.push(&Request::get("a", "/1").encode());
+        p.push(&Request::get("b", "/2").encode());
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/1");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/2");
+        assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn origin_form_uses_host_header() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /path HTTP/1.1\r\nHost: o.example\r\n\r\n");
+        let got = p.next_request().unwrap().unwrap();
+        assert_eq!(got.host, "o.example");
+        assert_eq!(got.path, "/path");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok(Bytes::from(vec![7u8; 5000])).with_header("X-Obj", "3");
+        let wire = resp.encode();
+        let mut p = ResponseParser::new();
+        p.push(&wire);
+        let got = p.next_response().unwrap().expect("complete");
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body.len(), 5000);
+        assert_eq!(got.header("X-Obj"), Some("3"));
+    }
+
+    #[test]
+    fn response_body_arrives_incrementally() {
+        let resp = Response::ok(Bytes::from(vec![1u8; 100]));
+        let wire = resp.encode();
+        let mut p = ResponseParser::new();
+        let split = wire.len() - 40;
+        p.push(&wire[..split]);
+        assert!(p.next_response().unwrap().is_none(), "body incomplete");
+        assert!(p.in_progress(), "head parsed");
+        p.push(&wire[split..]);
+        let got = p.next_response().unwrap().expect("now complete");
+        assert_eq!(got.body.len(), 100);
+        assert!(!p.in_progress());
+    }
+
+    #[test]
+    fn back_to_back_responses() {
+        let mut p = ResponseParser::new();
+        p.push(&Response::ok(Bytes::from(vec![1u8; 10])).encode());
+        p.push(&Response::ok(Bytes::from(vec![2u8; 20])).encode());
+        assert_eq!(p.next_response().unwrap().unwrap().body.len(), 10);
+        assert_eq!(p.next_response().unwrap().unwrap().body.len(), 20);
+        assert!(p.next_response().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_body_response() {
+        let mut p = ResponseParser::new();
+        p.push(b"HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n");
+        let got = p.next_response().unwrap().unwrap();
+        assert_eq!(got.status, 204);
+        assert!(got.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_status_is_an_error() {
+        let mut p = ResponseParser::new();
+        p.push(b"HTTP/1.1 abc OK\r\n\r\n");
+        assert!(p.next_response().is_err());
+    }
+
+    #[test]
+    fn malformed_header_is_an_error() {
+        let mut p = RequestParser::new();
+        p.push(b"GET / HTTP/1.1\r\nbad header line\r\n\r\n");
+        assert!(p.next_request().is_err());
+    }
+}

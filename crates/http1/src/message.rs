@@ -1,0 +1,181 @@
+//! HTTP/1.1 message types and wire encoding.
+//!
+//! Requests use the absolute-URI form (`GET http://host/path HTTP/1.1`)
+//! because — exactly as in the paper's testbed — clients talk to a proxy,
+//! not to origins directly.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// An HTTP request line + headers (bodies are not used by the workload:
+/// page loads are GETs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET` throughout the study).
+    pub method: String,
+    /// Origin host (the `Host` header / authority of the absolute URI).
+    pub host: String,
+    /// Path on the origin.
+    pub path: String,
+    /// Additional headers.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A GET for `http://host/path`.
+    pub fn get(host: impl Into<String>, path: impl Into<String>) -> Request {
+        Request {
+            method: "GET".into(),
+            host: host.into(),
+            path: path.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Append a header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Request {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Encode in proxy (absolute-URI) form.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(256);
+        out.put_slice(self.method.as_bytes());
+        out.put_slice(b" http://");
+        out.put_slice(self.host.as_bytes());
+        out.put_slice(self.path.as_bytes());
+        out.put_slice(b" HTTP/1.1\r\nHost: ");
+        out.put_slice(self.host.as_bytes());
+        out.put_slice(b"\r\n");
+        for (n, v) in &self.headers {
+            out.put_slice(n.as_bytes());
+            out.put_slice(b": ");
+            out.put_slice(v.as_bytes());
+            out.put_slice(b"\r\n");
+        }
+        out.put_slice(b"\r\n");
+        out.freeze()
+    }
+}
+
+/// An HTTP response with a `Content-Length`-framed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200 throughout the study).
+    pub status: u16,
+    /// Headers excluding `Content-Length` (added at encode time).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A 200 OK carrying `body`.
+    pub fn ok(body: Bytes) -> Response {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Append a header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Wire encoding with `Content-Length` framing.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(128 + self.body.len());
+        out.put_slice(b"HTTP/1.1 ");
+        out.put_slice(self.status.to_string().as_bytes());
+        out.put_slice(b" ");
+        out.put_slice(reason(self.status).as_bytes());
+        out.put_slice(b"\r\nContent-Length: ");
+        out.put_slice(self.body.len().to_string().as_bytes());
+        out.put_slice(b"\r\n");
+        for (n, v) in &self.headers {
+            out.put_slice(n.as_bytes());
+            out.put_slice(b": ");
+            out.put_slice(v.as_bytes());
+            out.put_slice(b"\r\n");
+        }
+        out.put_slice(b"\r\n");
+        out.put_slice(&self.body);
+        out.freeze()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        301 => "Moved Permanently",
+        302 => "Found",
+        304 => "Not Modified",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_encodes_absolute_form() {
+        let r = Request::get("example.com", "/index.html").with_header("Accept", "*/*");
+        let wire = r.encode();
+        let text = std::str::from_utf8(&wire).unwrap();
+        assert!(text.starts_with("GET http://example.com/index.html HTTP/1.1\r\n"));
+        assert!(text.contains("Host: example.com\r\n"));
+        assert!(text.contains("Accept: */*\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_encodes_content_length() {
+        let r = Response::ok(Bytes::from_static(b"hello"));
+        let wire = r.encode();
+        let text = std::str::from_utf8(&wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let r = Request::get("h", "/").with_header("X-Object-Id", "42");
+        assert_eq!(r.header("x-object-id"), Some("42"));
+        assert_eq!(r.header("missing"), None);
+        let resp = Response::ok(Bytes::new()).with_header("X-Foo", "bar");
+        assert_eq!(resp.header("x-foo"), Some("bar"));
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(reason(200), "OK");
+        assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(999), "Unknown");
+    }
+}

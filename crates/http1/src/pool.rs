@@ -1,0 +1,276 @@
+//! The browser's HTTP connection-pool policy.
+//!
+//! Chrome 23 — the paper's client — opens up to **6 parallel persistent
+//! connections per domain** with a cap of **32 across all domains**; a
+//! request waits when its domain is saturated. This module is the pure
+//! bookkeeping: which connection serves which domain, which are idle, and
+//! when a new one may be opened.
+
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Pool limits (Chrome defaults from the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PoolConfig {
+    /// Maximum concurrent connections per domain.
+    pub per_domain: usize,
+    /// Maximum concurrent connections across all domains.
+    pub total: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            per_domain: 6,
+            total: 32,
+        }
+    }
+}
+
+/// Pool-assigned connection identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct PoolConnId(pub u64);
+
+/// The outcome of asking for a connection slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acquire {
+    /// Reuse this idle persistent connection (now marked busy).
+    Reuse(PoolConnId),
+    /// Open a new connection with this id (now counted and busy).
+    Open(PoolConnId),
+    /// Domain and/or global limits are saturated; try again on release.
+    Blocked,
+}
+
+#[derive(Debug)]
+struct ConnInfo {
+    domain: String,
+    busy: bool,
+    /// Monotone counter value at last use (for LRU eviction).
+    last_used: u64,
+}
+
+/// Connection pool bookkeeping.
+#[derive(Debug)]
+pub struct ConnectionPool {
+    cfg: PoolConfig,
+    conns: HashMap<PoolConnId, ConnInfo>,
+    next_id: u64,
+    use_counter: u64,
+}
+
+impl ConnectionPool {
+    /// An empty pool.
+    pub fn new(cfg: PoolConfig) -> ConnectionPool {
+        ConnectionPool {
+            cfg,
+            conns: HashMap::new(),
+            next_id: 0,
+            use_counter: 0,
+        }
+    }
+
+    /// Ask for a slot to `domain`. Prefers an idle persistent connection;
+    /// opens a new one within limits; otherwise reports `Blocked` (the
+    /// caller may [`ConnectionPool::evict_idle`] to make room globally).
+    pub fn acquire(&mut self, domain: &str) -> Acquire {
+        self.use_counter += 1;
+        // Reuse the most-recently-used idle connection to this domain
+        // (warm cwnd beats cold).
+        if let Some((&id, _)) = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.domain == domain && !c.busy)
+            .max_by_key(|(_, c)| c.last_used)
+        {
+            let info = self.conns.get_mut(&id).expect("just found");
+            info.busy = true;
+            info.last_used = self.use_counter;
+            return Acquire::Reuse(id);
+        }
+        let domain_count = self.count_for_domain(domain);
+        if domain_count >= self.cfg.per_domain || self.conns.len() >= self.cfg.total {
+            return Acquire::Blocked;
+        }
+        let id = PoolConnId(self.next_id);
+        self.next_id += 1;
+        self.conns.insert(
+            id,
+            ConnInfo {
+                domain: domain.to_owned(),
+                busy: true,
+                last_used: self.use_counter,
+            },
+        );
+        Acquire::Open(id)
+    }
+
+    /// A request on `id` completed; the connection is idle and reusable.
+    pub fn release(&mut self, id: PoolConnId) {
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.busy = false;
+        }
+    }
+
+    /// The connection was closed (by either side); forget it.
+    pub fn remove(&mut self, id: PoolConnId) {
+        self.conns.remove(&id);
+    }
+
+    /// Least-recently-used idle connection across all domains, for
+    /// eviction when the global cap blocks a new domain.
+    pub fn evict_idle(&mut self) -> Option<PoolConnId> {
+        let id = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy)
+            .min_by_key(|(_, c)| c.last_used)
+            .map(|(&id, _)| id)?;
+        self.conns.remove(&id);
+        Some(id)
+    }
+
+    /// True when the global cap is reached.
+    pub fn at_global_cap(&self) -> bool {
+        self.conns.len() >= self.cfg.total
+    }
+
+    /// Open + busy connections to `domain`.
+    pub fn count_for_domain(&self, domain: &str) -> usize {
+        self.conns.values().filter(|c| c.domain == domain).count()
+    }
+
+    /// All connections currently open.
+    pub fn total(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Busy connections currently serving requests.
+    pub fn busy(&self) -> usize {
+        self.conns.values().filter(|c| c.busy).count()
+    }
+
+    /// The domain a connection serves.
+    pub fn domain_of(&self, id: PoolConnId) -> Option<&str> {
+        self.conns.get(&id).map(|c| c.domain.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ConnectionPool {
+        ConnectionPool::new(PoolConfig::default())
+    }
+
+    #[test]
+    fn opens_up_to_six_per_domain() {
+        let mut p = pool();
+        for i in 0..6 {
+            match p.acquire("a.com") {
+                Acquire::Open(id) => assert_eq!(id.0, i),
+                other => panic!("expected Open, got {other:?}"),
+            }
+        }
+        assert_eq!(p.acquire("a.com"), Acquire::Blocked);
+        assert_eq!(p.count_for_domain("a.com"), 6);
+    }
+
+    #[test]
+    fn release_enables_reuse() {
+        let mut p = pool();
+        let id = match p.acquire("a.com") {
+            Acquire::Open(id) => id,
+            _ => unreachable!(),
+        };
+        p.release(id);
+        assert_eq!(p.acquire("a.com"), Acquire::Reuse(id));
+    }
+
+    #[test]
+    fn global_cap_of_32() {
+        let mut p = pool();
+        // 6 domains × 5 connections = 30, then 2 more on a 7th domain.
+        for d in 0..6 {
+            for _ in 0..5 {
+                assert!(matches!(p.acquire(&format!("d{d}.com")), Acquire::Open(_)));
+            }
+        }
+        assert!(matches!(p.acquire("late.com"), Acquire::Open(_)));
+        assert!(matches!(p.acquire("late.com"), Acquire::Open(_)));
+        assert_eq!(p.total(), 32);
+        assert!(p.at_global_cap());
+        assert_eq!(p.acquire("another.com"), Acquire::Blocked);
+    }
+
+    #[test]
+    fn eviction_frees_global_capacity() {
+        let mut p = pool();
+        let mut first = None;
+        for d in 0..32 {
+            match p.acquire(&format!("d{d}.com")) {
+                Acquire::Open(id) => {
+                    if first.is_none() {
+                        first = Some(id);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(p.acquire("x.com"), Acquire::Blocked);
+        // Nothing idle yet → no eviction possible.
+        assert_eq!(p.evict_idle(), None);
+        p.release(first.unwrap());
+        assert_eq!(p.evict_idle(), Some(first.unwrap()));
+        assert!(matches!(p.acquire("x.com"), Acquire::Open(_)));
+    }
+
+    #[test]
+    fn removal_forgets_connection() {
+        let mut p = pool();
+        let id = match p.acquire("a.com") {
+            Acquire::Open(id) => id,
+            _ => unreachable!(),
+        };
+        p.remove(id);
+        assert_eq!(p.total(), 0);
+        assert!(matches!(p.acquire("a.com"), Acquire::Open(_)));
+    }
+
+    #[test]
+    fn reuse_prefers_most_recently_used() {
+        let mut p = pool();
+        let a = match p.acquire("a.com") {
+            Acquire::Open(id) => id,
+            _ => unreachable!(),
+        };
+        let b = match p.acquire("a.com") {
+            Acquire::Open(id) => id,
+            _ => unreachable!(),
+        };
+        p.release(a);
+        p.release(b); // b used more recently
+        assert_eq!(p.acquire("a.com"), Acquire::Reuse(b));
+    }
+
+    #[test]
+    fn domains_do_not_interfere_below_cap() {
+        let mut p = pool();
+        for _ in 0..6 {
+            p.acquire("a.com");
+        }
+        assert!(matches!(p.acquire("b.com"), Acquire::Open(_)));
+    }
+
+    #[test]
+    fn domain_of_reports() {
+        let mut p = pool();
+        let id = match p.acquire("a.com") {
+            Acquire::Open(id) => id,
+            _ => unreachable!(),
+        };
+        assert_eq!(p.domain_of(id), Some("a.com"));
+        assert_eq!(p.busy(), 1);
+    }
+}

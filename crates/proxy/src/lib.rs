@@ -1,0 +1,25 @@
+//! # spdyier-proxy
+//!
+//! The protocol proxies of the study, as sans-IO cores:
+//!
+//! * [`HttpProxyCore`] — the Squid-like HTTP proxy: persistent connections
+//!   both sides, strict per-connection response ordering, no pipelining;
+//! * [`SpdyProxyCore`] — the SPDY/3 proxy: one multiplexed session per
+//!   client connection with priority-scheduled responses;
+//! * [`ProxyObjectRecord`] — per-object proxy timelines (request arrival,
+//!   origin first byte, origin download, transfer to client) that
+//!   regenerate the paper's Figure 8.
+//!
+//! The §6.1 variants (20 SPDY connections; late binding of responses to
+//! whichever connection is transmittable) are topology choices made by the
+//! testbed driver on top of these same cores.
+
+#![warn(missing_docs)]
+
+pub mod http_proxy;
+pub mod record;
+pub mod spdy_proxy;
+
+pub use http_proxy::{ClientConnId, HttpProxyCore, HttpProxyOutput};
+pub use record::{FetchId, ProxyObjectRecord};
+pub use spdy_proxy::{SpdyProxyCore, SpdyProxyOutput};

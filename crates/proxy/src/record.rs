@@ -1,0 +1,97 @@
+//! Per-object proxy timelines (the raw material of the paper's Figure 8).
+
+use serde::Serialize;
+use spdyier_sim::{SimDuration, SimTime};
+
+/// Proxy-assigned id for one origin fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct FetchId(pub u64);
+
+/// The proxy-side life of one object: Figure 8 plots, per object, the time
+/// to the origin's first byte (black), the origin download (cyan), and the
+/// transfer back to the client (red).
+#[derive(Debug, Clone, Serialize)]
+pub struct ProxyObjectRecord {
+    /// Fetch id.
+    pub fetch: FetchId,
+    /// Origin domain.
+    pub domain: String,
+    /// Path on the origin.
+    pub path: String,
+    /// Client's request reached the proxy.
+    pub request_arrived: SimTime,
+    /// First byte of the origin's response reached the proxy.
+    pub origin_first_byte: Option<SimTime>,
+    /// Origin response fully downloaded at the proxy.
+    pub origin_done: Option<SimTime>,
+    /// Response handed to the client-side transport queue.
+    pub queued_to_client: Option<SimTime>,
+    /// Last byte accepted by the client-side transport (the driver stamps
+    /// this when the client finishes receiving the object).
+    pub client_done: Option<SimTime>,
+}
+
+impl ProxyObjectRecord {
+    /// A fresh record at request arrival.
+    pub fn new(fetch: FetchId, domain: String, path: String, now: SimTime) -> ProxyObjectRecord {
+        ProxyObjectRecord {
+            fetch,
+            domain,
+            path,
+            request_arrived: now,
+            origin_first_byte: None,
+            origin_done: None,
+            queued_to_client: None,
+            client_done: None,
+        }
+    }
+
+    /// Request → origin first byte (Fig. 8's black region).
+    pub fn origin_wait(&self) -> Option<SimDuration> {
+        Some(
+            self.origin_first_byte?
+                .saturating_since(self.request_arrived),
+        )
+    }
+
+    /// Origin first byte → downloaded (cyan region).
+    pub fn origin_download(&self) -> Option<SimDuration> {
+        Some(self.origin_done?.saturating_since(self.origin_first_byte?))
+    }
+
+    /// Downloaded → fully transferred to the client (red region). This is
+    /// where §5.3 finds the queueing: data sits at the proxy because the
+    /// client link is the bottleneck.
+    pub fn client_transfer(&self) -> Option<SimDuration> {
+        Some(self.client_done?.saturating_since(self.origin_done?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_derive_from_boundaries() {
+        let mut r = ProxyObjectRecord::new(
+            FetchId(1),
+            "o.example".into(),
+            "/a".into(),
+            SimTime::from_millis(100),
+        );
+        r.origin_first_byte = Some(SimTime::from_millis(114));
+        r.origin_done = Some(SimTime::from_millis(118));
+        r.queued_to_client = Some(SimTime::from_millis(118));
+        r.client_done = Some(SimTime::from_millis(1_000));
+        assert_eq!(r.origin_wait(), Some(SimDuration::from_millis(14)));
+        assert_eq!(r.origin_download(), Some(SimDuration::from_millis(4)));
+        assert_eq!(r.client_transfer(), Some(SimDuration::from_millis(882)));
+    }
+
+    #[test]
+    fn missing_boundaries_yield_none() {
+        let r = ProxyObjectRecord::new(FetchId(1), "d".into(), "/".into(), SimTime::ZERO);
+        assert_eq!(r.origin_wait(), None);
+        assert_eq!(r.client_transfer(), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! The discrete-event queue.
+//!
+//! A priority queue of `(SimTime, E)` pairs with stable FIFO ordering for
+//! events scheduled at the same instant, plus O(1) lazy cancellation — the
+//! combination every protocol timer implementation needs.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earlier time first; ties broken by insertion order (seq) so that
+        // same-instant events fire in the order they were scheduled.
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events of type `E` are scheduled for a [`SimTime`] and popped in
+/// chronological order. Scheduling returns an [`EventId`] that can cancel the
+/// event later (lazy cancellation: the heap entry is skipped at pop time).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry>>,
+    live: HashMap<u64, E>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at `time`. Returns a handle for cancellation.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq }));
+        self.live.insert(seq, event);
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns the event if it had not
+    /// yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        self.live.remove(&id.0)
+    }
+
+    /// True if the event is still pending.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.live.contains_key(&id.0)
+    }
+
+    /// The time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pop the next live event in chronological (then FIFO) order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let Reverse(entry) = self.heap.pop()?;
+        let event = self
+            .live
+            .remove(&entry.seq)
+            .expect("skip_cancelled guarantees the head entry is live");
+        Some((entry.time, event))
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.live.contains_key(&entry.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        assert!(q.is_pending(a));
+        assert_eq!(q.cancel(a), Some("a"));
+        assert!(!q.is_pending(a));
+        assert_eq!(q.cancel(a), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        let _ = b;
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn empty_and_len_track_live_events() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        let id = q.schedule(t(1), 7);
+        assert_eq!(q.len(), 1);
+        q.cancel(id);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        q.schedule(t(5), 2);
+        q.schedule(t(7), 3);
+        assert_eq!(q.pop(), Some((t(5), 2)));
+        q.schedule(t(6), 4);
+        assert_eq!(q.pop(), Some((t(6), 4)));
+        assert_eq!(q.pop(), Some((t(7), 3)));
+    }
+}

@@ -1,0 +1,271 @@
+//! Deterministic random number generation.
+//!
+//! All stochastic elements of the testbed (latency jitter, response-size
+//! noise, page-visit order, loss) draw from a [`DetRng`] seeded from a single
+//! experiment seed. Sub-components receive *forked* streams labelled by name
+//! so that adding a consumer never perturbs the draws seen by another — the
+//! property that makes A/B protocol comparisons ("same network weather for
+//! HTTP and SPDY") meaningful.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic RNG stream.
+pub struct DetRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl std::fmt::Debug for DetRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetRng").field("seed", &self.seed).finish()
+    }
+}
+
+/// SplitMix64 finalizer — mixes seed material into well-distributed words.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Stable 64-bit FNV-1a hash of a label, for named sub-streams.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl DetRng {
+    /// Create the root stream for an experiment seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fork an independent sub-stream identified by `label`.
+    ///
+    /// Forking is a pure function of `(self.seed, label)` — it does not
+    /// advance this stream, so the order in which forks are taken does not
+    /// matter.
+    pub fn fork(&self, label: &str) -> DetRng {
+        DetRng::new(splitmix64(self.seed ^ fnv1a(label)))
+    }
+
+    /// Fork an independent sub-stream identified by a label and an index
+    /// (e.g. one stream per run, per site, per connection).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> DetRng {
+        DetRng::new(splitmix64(
+            self.seed ^ fnv1a(label) ^ splitmix64(index.wrapping_add(1)),
+        ))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Exponentially distributed draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse CDF; 1 - U avoids ln(0).
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Normal draw via Box–Muller (single value; the pair's twin is dropped
+    /// to keep the stream consumption pattern simple and stable).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normal draw parameterised by the *target* mean and the sigma of
+    /// the underlying normal. Used for heavy-tailed latency/size noise.
+    pub fn lognormal_mean(&mut self, mean: f64, sigma: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) => solve for mu.
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        (mu + sigma * self.normal(0.0, 1.0)).exp()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element; `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len() as u64) as usize])
+        }
+    }
+
+    /// Raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_order_independent() {
+        let root = DetRng::new(7);
+        let mut a1 = root.fork("alpha");
+        let mut b1 = root.fork("beta");
+        // Recreate in the opposite order — identical streams.
+        let root2 = DetRng::new(7);
+        let mut b2 = root2.fork("beta");
+        let mut a2 = root2.fork("alpha");
+        for _ in 0..32 {
+            assert_eq!(a1.next_u64(), a2.next_u64());
+            assert_eq!(b1.next_u64(), b2.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_label() {
+        let root = DetRng::new(7);
+        let mut a = root.fork("alpha");
+        let mut b = root.fork("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut i0 = root.fork_indexed("run", 0);
+        let mut i1 = root.fork_indexed("run", 1);
+        assert_ne!(i0.next_u64(), i1.next_u64());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = DetRng::new(3);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert_eq!(r.uniform_range(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = DetRng::new(5);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(10.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean} too far from 10");
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = DetRng::new(6);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn lognormal_mean_close() {
+        let mut r = DetRng::new(8);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.lognormal_mean(14.0, 0.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 14.0).abs() < 0.5, "mean {mean} too far from 14");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(9);
+        let mut v: Vec<u32> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, (0..20).collect::<Vec<_>>(), "shuffle moved something");
+    }
+
+    #[test]
+    fn choose_on_empty_and_nonempty() {
+        let mut r = DetRng::new(10);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        let one = [42u8];
+        assert_eq!(r.choose(&one), Some(&42));
+    }
+}

@@ -1,0 +1,304 @@
+//! Statistical summaries used by the experiment harness: five-number
+//! box-plot summaries (the paper's Figures 3 and 16), CDFs (Figure 14),
+//! means with confidence intervals (Figure 4), and histograms.
+
+use serde::Serialize;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolation percentile (`q` in `[0, 100]`) of an unsorted slice.
+/// Returns 0 for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&sorted, q)
+}
+
+/// Percentile of an already-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The five-number summary plus mean that the paper's box plots show:
+/// min, 25th percentile, median, 75th percentile, max, and the mean circle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BoxStats {
+    /// Smallest sample (bottom whisker).
+    pub min: f64,
+    /// 25th percentile (box bottom).
+    pub q1: f64,
+    /// 50th percentile (the notch).
+    pub median: f64,
+    /// 75th percentile (box top).
+    pub q3: f64,
+    /// Largest sample (top whisker).
+    pub max: f64,
+    /// Arithmetic mean (the circle marker in the paper's plots).
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Compute from an unsorted sample. Returns `None` for an empty sample.
+    pub fn from_samples(xs: &[f64]) -> Option<BoxStats> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in BoxStats input"));
+        Some(BoxStats {
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            q3: percentile_sorted(&sorted, 75.0),
+            max: sorted[sorted.len() - 1],
+            mean: mean(&sorted),
+            n: sorted.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Mean and a 95% normal-approximation confidence interval half-width,
+/// as plotted in the paper's Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MeanCi {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Compute from a sample; `ci95` is 0 for n < 2.
+    pub fn from_samples(xs: &[f64]) -> MeanCi {
+        let n = xs.len();
+        let m = mean(xs);
+        let ci = if n < 2 {
+            0.0
+        } else {
+            // Sample (n-1) std error with z = 1.96.
+            let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            1.96 * (var / n as f64).sqrt()
+        };
+        MeanCi {
+            mean: m,
+            ci95: ci,
+            n,
+        }
+    }
+}
+
+/// An empirical CDF: sorted values with cumulative fractions.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cdf {
+    /// `(value, fraction_of_samples <= value)` pairs in ascending value order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Build from an unsorted sample.
+    pub fn from_samples(xs: &[f64]) -> Cdf {
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        let n = sorted.len() as f64;
+        let points = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect();
+        Cdf { points }
+    }
+
+    /// Fraction of samples `<= x` (0 for an empty CDF).
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        match self.points.iter().rposition(|&(v, _)| v <= x) {
+            Some(i) => self.points[i].1,
+            None => 0.0,
+        }
+    }
+
+    /// Smallest value with cumulative fraction `>= p` (the p-quantile).
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        self.points.iter().find(|&&(_, f)| f >= p).map(|&(v, _)| v)
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with out-of-range clamping.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// Inclusive lower bound of the range.
+    pub lo: f64,
+    /// Exclusive upper bound of the range.
+    pub hi: f64,
+    /// Per-bucket observation counts.
+    pub counts: Vec<u64>,
+    /// Total observations recorded (including clamped ones).
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Create with `bins` equal-width buckets. Panics if `bins == 0` or the
+    /// range is empty.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0 && hi > lo, "histogram needs a non-empty range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Record one observation; values outside `[lo, hi)` clamp to the
+    /// boundary buckets.
+    pub fn record(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// `(bucket_midpoint, count)` pairs.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(percentile(&xs, 25.0), 1.75);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -10.0), 1.0);
+        assert_eq!(percentile(&xs, 200.0), 2.0);
+    }
+
+    #[test]
+    fn box_stats_on_known_sample() {
+        let xs = [7.0, 1.0, 3.0, 5.0, 9.0];
+        let b = BoxStats::from_samples(&xs).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.max, 9.0);
+        assert_eq!(b.mean, 5.0);
+        assert_eq!(b.n, 5);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.iqr(), 4.0);
+        assert!(BoxStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_ci_shrinks_with_n() {
+        let small = MeanCi::from_samples(&[1.0, 3.0]);
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
+        let large = MeanCi::from_samples(&xs);
+        assert_eq!(small.mean, 2.0);
+        assert_eq!(large.mean, 2.0);
+        assert!(large.ci95 < small.ci95);
+        assert_eq!(MeanCi::from_samples(&[5.0]).ci95, 0.0);
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let c = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(2.0), 0.5);
+        assert_eq!(c.fraction_at(10.0), 1.0);
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert_eq!(c.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_clamps_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-1.0); // clamps to first bucket
+        h.record(0.5);
+        h.record(9.9);
+        h.record(100.0); // clamps to last bucket
+        assert_eq!(h.total, 4);
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[4], 2);
+        let b = h.buckets();
+        assert_eq!(b.len(), 5);
+        assert!((b[0].0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+}

@@ -1,0 +1,569 @@
+//! SPDY/3 binary framing.
+//!
+//! Control frames: `1 | version(15) | type(16) | flags(8) | length(24)`;
+//! data frames: `0 | stream-id(31) | flags(8) | length(24)`. Header blocks
+//! inside SYN_STREAM / SYN_REPLY are compressed with the session's
+//! [`crate::compress`] codec (stateful, like SPDY's session zlib stream).
+
+use crate::compress::{Compressor, DecompressError, Decompressor};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// SPDY protocol version emitted in control frames.
+pub const SPDY_VERSION: u16 = 3;
+
+/// FLAG_FIN: the sender half-closes the stream.
+pub const FLAG_FIN: u8 = 0x01;
+
+/// A parsed SPDY frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Open a stream (client request).
+    SynStream {
+        /// Odd ids from clients, even from servers.
+        stream_id: u32,
+        /// SPDY/3 priority: 0 is *highest*, 7 lowest.
+        priority: u8,
+        /// Sender half-closes immediately (pure GET).
+        fin: bool,
+        /// Header name/value pairs.
+        headers: Vec<(String, String)>,
+    },
+    /// First response frame on a stream.
+    SynReply {
+        /// Stream being answered.
+        stream_id: u32,
+        /// Sender half-closes immediately (empty body).
+        fin: bool,
+        /// Header name/value pairs.
+        headers: Vec<(String, String)>,
+    },
+    /// Stream payload.
+    Data {
+        /// Stream carrying the payload.
+        stream_id: u32,
+        /// Final frame of this direction.
+        fin: bool,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// Abort a stream.
+    RstStream {
+        /// Stream being reset.
+        stream_id: u32,
+        /// Status code (1 = PROTOCOL_ERROR, 3 = REFUSED_STREAM, ...).
+        status: u32,
+    },
+    /// Session settings (id → value pairs).
+    Settings(Vec<(u32, u32)>),
+    /// Liveness probe.
+    Ping(u32),
+    /// Session teardown notice.
+    Goaway {
+        /// Last accepted stream.
+        last_stream_id: u32,
+        /// Status code.
+        status: u32,
+    },
+    /// Per-stream flow-control credit.
+    WindowUpdate {
+        /// Stream receiving credit.
+        stream_id: u32,
+        /// Bytes of credit.
+        delta: u32,
+    },
+}
+
+const T_SYN_STREAM: u16 = 1;
+const T_SYN_REPLY: u16 = 2;
+const T_RST: u16 = 3;
+const T_SETTINGS: u16 = 4;
+const T_PING: u16 = 6;
+const T_GOAWAY: u16 = 7;
+const T_WINDOW_UPDATE: u16 = 9;
+
+fn encode_headers(headers: &[(String, String)], comp: &mut Compressor) -> Bytes {
+    let mut plain = BytesMut::new();
+    plain.put_u32(headers.len() as u32);
+    for (n, v) in headers {
+        plain.put_u32(n.len() as u32);
+        plain.put_slice(n.as_bytes());
+        plain.put_u32(v.len() as u32);
+        plain.put_slice(v.as_bytes());
+    }
+    comp.compress(&plain)
+}
+
+fn decode_headers(
+    data: &[u8],
+    decomp: &mut Decompressor,
+) -> Result<Vec<(String, String)>, FrameError> {
+    let plain = decomp.decompress(data)?;
+    let mut buf = &plain[..];
+    if buf.remaining() < 4 {
+        return Err(FrameError::Malformed("header count missing".into()));
+    }
+    let count = buf.get_u32();
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(FrameError::Malformed("truncated header name len".into()));
+        }
+        let nl = buf.get_u32() as usize;
+        if buf.remaining() < nl {
+            return Err(FrameError::Malformed("truncated header name".into()));
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(nl).to_vec())
+            .map_err(|_| FrameError::Malformed("non-UTF8 header name".into()))?;
+        if buf.remaining() < 4 {
+            return Err(FrameError::Malformed("truncated header value len".into()));
+        }
+        let vl = buf.get_u32() as usize;
+        if buf.remaining() < vl {
+            return Err(FrameError::Malformed("truncated header value".into()));
+        }
+        let value = String::from_utf8(buf.copy_to_bytes(vl).to_vec())
+            .map_err(|_| FrameError::Malformed("non-UTF8 header value".into()))?;
+        out.push((name, value));
+    }
+    Ok(out)
+}
+
+/// Framing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Structurally invalid frame.
+    Malformed(String),
+    /// Header block failed to decompress.
+    Compression(String),
+}
+
+impl From<DecompressError> for FrameError {
+    fn from(e: DecompressError) -> Self {
+        FrameError::Compression(e.0)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Malformed(m) => write!(f, "malformed SPDY frame: {m}"),
+            FrameError::Compression(m) => write!(f, "SPDY header compression error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl Frame {
+    /// Encode to wire bytes, compressing header blocks with `comp`.
+    pub fn encode(&self, comp: &mut Compressor) -> Bytes {
+        let mut out = BytesMut::with_capacity(64);
+        match self {
+            Frame::Data {
+                stream_id,
+                fin,
+                payload,
+            } => {
+                out.put_u32(stream_id & 0x7FFF_FFFF);
+                out.put_u8(if *fin { FLAG_FIN } else { 0 });
+                put_u24(&mut out, payload.len() as u32);
+                out.put_slice(payload);
+            }
+            Frame::SynStream {
+                stream_id,
+                priority,
+                fin,
+                headers,
+            } => {
+                let block = encode_headers(headers, comp);
+                control_header(
+                    &mut out,
+                    T_SYN_STREAM,
+                    if *fin { FLAG_FIN } else { 0 },
+                    10 + block.len() as u32,
+                );
+                out.put_u32(stream_id & 0x7FFF_FFFF);
+                out.put_u32(0); // associated stream
+                out.put_u8(priority << 5);
+                out.put_u8(0); // credential slot
+                out.put_slice(&block);
+            }
+            Frame::SynReply {
+                stream_id,
+                fin,
+                headers,
+            } => {
+                let block = encode_headers(headers, comp);
+                control_header(
+                    &mut out,
+                    T_SYN_REPLY,
+                    if *fin { FLAG_FIN } else { 0 },
+                    4 + block.len() as u32,
+                );
+                out.put_u32(stream_id & 0x7FFF_FFFF);
+                out.put_slice(&block);
+            }
+            Frame::RstStream { stream_id, status } => {
+                control_header(&mut out, T_RST, 0, 8);
+                out.put_u32(stream_id & 0x7FFF_FFFF);
+                out.put_u32(*status);
+            }
+            Frame::Settings(entries) => {
+                control_header(&mut out, T_SETTINGS, 0, 4 + 8 * entries.len() as u32);
+                out.put_u32(entries.len() as u32);
+                for (id, value) in entries {
+                    out.put_u32(id & 0x00FF_FFFF);
+                    out.put_u32(*value);
+                }
+            }
+            Frame::Ping(id) => {
+                control_header(&mut out, T_PING, 0, 4);
+                out.put_u32(*id);
+            }
+            Frame::Goaway {
+                last_stream_id,
+                status,
+            } => {
+                control_header(&mut out, T_GOAWAY, 0, 8);
+                out.put_u32(last_stream_id & 0x7FFF_FFFF);
+                out.put_u32(*status);
+            }
+            Frame::WindowUpdate { stream_id, delta } => {
+                control_header(&mut out, T_WINDOW_UPDATE, 0, 8);
+                out.put_u32(stream_id & 0x7FFF_FFFF);
+                out.put_u32(delta & 0x7FFF_FFFF);
+            }
+        }
+        out.freeze()
+    }
+}
+
+fn control_header(out: &mut BytesMut, frame_type: u16, flags: u8, length: u32) {
+    out.put_u16(0x8000 | SPDY_VERSION);
+    out.put_u16(frame_type);
+    out.put_u8(flags);
+    put_u24(out, length);
+}
+
+fn put_u24(out: &mut BytesMut, v: u32) {
+    out.put_u8(((v >> 16) & 0xFF) as u8);
+    out.put_u8(((v >> 8) & 0xFF) as u8);
+    out.put_u8((v & 0xFF) as u8);
+}
+
+/// Incremental frame parser: buffers TCP chunks, yields whole frames.
+#[derive(Debug, Default)]
+pub struct FrameParser {
+    buf: BytesMut,
+}
+
+impl FrameParser {
+    /// An empty parser.
+    pub fn new() -> FrameParser {
+        FrameParser::default()
+    }
+
+    /// Feed bytes read from the transport.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered and not yet parsed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extract the next complete frame, decompressing header blocks with
+    /// `decomp`.
+    pub fn next_frame(&mut self, decomp: &mut Decompressor) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let word0 = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        let flags = self.buf[4];
+        let length = u32::from_be_bytes([0, self.buf[5], self.buf[6], self.buf[7]]) as usize;
+        if self.buf.len() < 8 + length {
+            return Ok(None);
+        }
+        let frame = self.buf.split_to(8 + length);
+        let body = &frame[8..];
+        let fin = flags & FLAG_FIN != 0;
+        if word0 & 0x8000_0000 == 0 {
+            // Data frame.
+            return Ok(Some(Frame::Data {
+                stream_id: word0 & 0x7FFF_FFFF,
+                fin,
+                payload: Bytes::copy_from_slice(body),
+            }));
+        }
+        let frame_type = (word0 & 0xFFFF) as u16;
+        let need = |n: usize| -> Result<(), FrameError> {
+            if body.len() < n {
+                Err(FrameError::Malformed(format!(
+                    "type {frame_type} needs {n} bytes, has {}",
+                    body.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let frame = match frame_type {
+            T_SYN_STREAM => {
+                need(10)?;
+                let stream_id =
+                    u32::from_be_bytes([body[0], body[1], body[2], body[3]]) & 0x7FFF_FFFF;
+                let priority = body[8] >> 5;
+                let headers = decode_headers(&body[10..], decomp)?;
+                Frame::SynStream {
+                    stream_id,
+                    priority,
+                    fin,
+                    headers,
+                }
+            }
+            T_SYN_REPLY => {
+                need(4)?;
+                let stream_id =
+                    u32::from_be_bytes([body[0], body[1], body[2], body[3]]) & 0x7FFF_FFFF;
+                let headers = decode_headers(&body[4..], decomp)?;
+                Frame::SynReply {
+                    stream_id,
+                    fin,
+                    headers,
+                }
+            }
+            T_RST => {
+                need(8)?;
+                Frame::RstStream {
+                    stream_id: u32::from_be_bytes([body[0], body[1], body[2], body[3]])
+                        & 0x7FFF_FFFF,
+                    status: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                }
+            }
+            T_SETTINGS => {
+                need(4)?;
+                let count = u32::from_be_bytes([body[0], body[1], body[2], body[3]]) as usize;
+                need(4 + count * 8)?;
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = 4 + i * 8;
+                    entries.push((
+                        u32::from_be_bytes([
+                            body[off],
+                            body[off + 1],
+                            body[off + 2],
+                            body[off + 3],
+                        ]) & 0x00FF_FFFF,
+                        u32::from_be_bytes([
+                            body[off + 4],
+                            body[off + 5],
+                            body[off + 6],
+                            body[off + 7],
+                        ]),
+                    ));
+                }
+                Frame::Settings(entries)
+            }
+            T_PING => {
+                need(4)?;
+                Frame::Ping(u32::from_be_bytes([body[0], body[1], body[2], body[3]]))
+            }
+            T_GOAWAY => {
+                need(8)?;
+                Frame::Goaway {
+                    last_stream_id: u32::from_be_bytes([body[0], body[1], body[2], body[3]])
+                        & 0x7FFF_FFFF,
+                    status: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                }
+            }
+            T_WINDOW_UPDATE => {
+                need(8)?;
+                Frame::WindowUpdate {
+                    stream_id: u32::from_be_bytes([body[0], body[1], body[2], body[3]])
+                        & 0x7FFF_FFFF,
+                    delta: u32::from_be_bytes([body[4], body[5], body[6], body[7]]) & 0x7FFF_FFFF,
+                }
+            }
+            other => {
+                return Err(FrameError::Malformed(format!(
+                    "unknown control type {other}"
+                )))
+            }
+        };
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) -> Frame {
+        let mut comp = Compressor::new();
+        let mut decomp = Decompressor::new();
+        let wire = frame.encode(&mut comp);
+        let mut p = FrameParser::new();
+        p.push(&wire);
+        let got = p
+            .next_frame(&mut decomp)
+            .expect("parse ok")
+            .expect("complete frame");
+        assert_eq!(p.buffered(), 0, "no trailing bytes");
+        got
+    }
+
+    #[test]
+    fn syn_stream_roundtrip() {
+        let f = Frame::SynStream {
+            stream_id: 7,
+            priority: 3,
+            fin: true,
+            headers: vec![
+                (":method".into(), "GET".into()),
+                (":path".into(), "/img/1.png".into()),
+                (":host".into(), "photos.example".into()),
+            ],
+        };
+        assert_eq!(roundtrip(f.clone()), f);
+    }
+
+    #[test]
+    fn syn_reply_roundtrip() {
+        let f = Frame::SynReply {
+            stream_id: 9,
+            fin: false,
+            headers: vec![
+                (":status".into(), "200".into()),
+                ("content-type".into(), "text/html".into()),
+            ],
+        };
+        assert_eq!(roundtrip(f.clone()), f);
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let f = Frame::Data {
+            stream_id: 5,
+            fin: true,
+            payload: Bytes::from(vec![0xEE; 5000]),
+        };
+        assert_eq!(roundtrip(f.clone()), f);
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        for f in [
+            Frame::RstStream {
+                stream_id: 3,
+                status: 1,
+            },
+            Frame::Settings(vec![(4, 100), (7, 65536)]),
+            Frame::Ping(0xDEAD_BEEF),
+            Frame::Goaway {
+                last_stream_id: 41,
+                status: 0,
+            },
+            Frame::WindowUpdate {
+                stream_id: 11,
+                delta: 32768,
+            },
+        ] {
+            assert_eq!(roundtrip(f.clone()), f);
+        }
+    }
+
+    #[test]
+    fn parser_handles_fragmentation() {
+        let mut comp = Compressor::new();
+        let mut decomp = Decompressor::new();
+        let f = Frame::Data {
+            stream_id: 1,
+            fin: false,
+            payload: Bytes::from(vec![1u8; 100]),
+        };
+        let wire = f.encode(&mut comp);
+        let mut p = FrameParser::new();
+        for chunk in wire.chunks(7) {
+            p.push(chunk);
+        }
+        assert_eq!(p.next_frame(&mut decomp).unwrap().unwrap(), f);
+    }
+
+    #[test]
+    fn parser_handles_back_to_back_frames() {
+        let mut comp = Compressor::new();
+        let mut decomp = Decompressor::new();
+        let a = Frame::Ping(1).encode(&mut comp);
+        let b = Frame::Ping(2).encode(&mut comp);
+        let mut p = FrameParser::new();
+        p.push(&a);
+        p.push(&b);
+        assert_eq!(p.next_frame(&mut decomp).unwrap(), Some(Frame::Ping(1)));
+        assert_eq!(p.next_frame(&mut decomp).unwrap(), Some(Frame::Ping(2)));
+        assert_eq!(p.next_frame(&mut decomp).unwrap(), None);
+    }
+
+    #[test]
+    fn headers_compress_across_requests() {
+        // The SPDY claim the paper cites: repeated header sets shrink.
+        let mut comp = Compressor::new();
+        let headers = vec![
+            (":method".to_string(), "GET".to_string()),
+            (":host".to_string(), "news.example".to_string()),
+            (
+                "user-agent".to_string(),
+                "Chrome/23.0 (Windows NT 6.1) AppleWebKit".to_string(),
+            ),
+            (
+                "cookie".to_string(),
+                "sid=0123456789abcdef0123456789abcdef".to_string(),
+            ),
+        ];
+        let first = Frame::SynStream {
+            stream_id: 1,
+            priority: 0,
+            fin: true,
+            headers: headers.clone(),
+        }
+        .encode(&mut comp);
+        let second = Frame::SynStream {
+            stream_id: 3,
+            priority: 0,
+            fin: true,
+            headers,
+        }
+        .encode(&mut comp);
+        assert!(
+            second.len() * 2 < first.len(),
+            "repeat headers must shrink: {} then {}",
+            first.len(),
+            second.len()
+        );
+    }
+
+    #[test]
+    fn unknown_control_type_is_an_error() {
+        let mut out = BytesMut::new();
+        control_header(&mut out, 99, 0, 0);
+        let mut p = FrameParser::new();
+        p.push(&out);
+        let mut d = Decompressor::new();
+        assert!(p.next_frame(&mut d).is_err());
+    }
+
+    #[test]
+    fn priority_range_is_preserved() {
+        for pri in 0..8u8 {
+            let f = Frame::SynStream {
+                stream_id: 1,
+                priority: pri,
+                fin: false,
+                headers: vec![],
+            };
+            match roundtrip(f) {
+                Frame::SynStream { priority, .. } => assert_eq!(priority, pri),
+                _ => panic!(),
+            }
+        }
+    }
+}

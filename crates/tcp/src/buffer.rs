@@ -1,0 +1,349 @@
+//! Send-side byte queue and receive-side reassembly.
+
+use bytes::{Bytes, BytesMut};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The un-sent portion of the application's byte stream.
+///
+/// Chunks written by the application are queued and pulled off in
+/// MSS-or-smaller slices by the sender. Pulling may coalesce across chunk
+/// boundaries.
+#[derive(Debug, Default)]
+pub struct SendBuffer {
+    chunks: VecDeque<Bytes>,
+    len: u64,
+}
+
+impl SendBuffer {
+    /// An empty buffer.
+    pub fn new() -> SendBuffer {
+        SendBuffer::default()
+    }
+
+    /// Queue application data.
+    pub fn write(&mut self, data: Bytes) {
+        if !data.is_empty() {
+            self.len += data.len() as u64;
+            self.chunks.push_back(data);
+        }
+    }
+
+    /// Unsent bytes remaining.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove and return up to `max` bytes.
+    pub fn pull(&mut self, max: u64) -> Bytes {
+        if max == 0 || self.is_empty() {
+            return Bytes::new();
+        }
+        // Fast path: the head chunk alone satisfies the request.
+        if let Some(front) = self.chunks.front_mut() {
+            if front.len() as u64 >= max {
+                let out = front.split_to(max as usize);
+                if front.is_empty() {
+                    self.chunks.pop_front();
+                }
+                self.len -= max;
+                return out;
+            }
+        }
+        // Slow path: coalesce across chunks.
+        let take = max.min(self.len) as usize;
+        let mut out = BytesMut::with_capacity(take);
+        while out.len() < take {
+            let mut front = self.chunks.pop_front().expect("len accounting");
+            let need = take - out.len();
+            if front.len() <= need {
+                out.extend_from_slice(&front);
+            } else {
+                out.extend_from_slice(&front.split_to(need));
+                self.chunks.push_front(front);
+            }
+        }
+        self.len -= take as u64;
+        out.freeze()
+    }
+}
+
+/// Receive-side reassembly: buffers out-of-order segments and exposes the
+/// in-order byte stream to the application.
+#[derive(Debug)]
+pub struct RecvBuffer {
+    /// Next in-order sequence number expected.
+    rcv_nxt: u64,
+    /// Out-of-order segments keyed by their start sequence.
+    ooo: BTreeMap<u64, Bytes>,
+    /// In-order data awaiting application reads.
+    assembled: VecDeque<Bytes>,
+    assembled_len: u64,
+    /// Total capacity governing the advertised window.
+    capacity: u64,
+    /// Count of exact or partial duplicate payload bytes seen (a signature
+    /// of spurious retransmission at the receiver).
+    dup_bytes: u64,
+}
+
+impl RecvBuffer {
+    /// A buffer expecting sequence `rcv_nxt` first, with `capacity` bytes
+    /// of advertised window.
+    pub fn new(rcv_nxt: u64, capacity: u64) -> RecvBuffer {
+        RecvBuffer {
+            rcv_nxt,
+            ooo: BTreeMap::new(),
+            assembled: VecDeque::new(),
+            assembled_len: 0,
+            capacity,
+            dup_bytes: 0,
+        }
+    }
+
+    /// Next expected sequence number (the ACK we should send).
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Bytes of window to advertise: capacity minus data the application
+    /// has not yet consumed (including buffered out-of-order data).
+    pub fn window(&self) -> u64 {
+        let buffered = self.assembled_len + self.ooo.values().map(|b| b.len() as u64).sum::<u64>();
+        self.capacity.saturating_sub(buffered)
+    }
+
+    /// Duplicate payload bytes observed (spurious-retransmission signature).
+    pub fn dup_bytes(&self) -> u64 {
+        self.dup_bytes
+    }
+
+    /// True if any out-of-order data is parked (we should send an
+    /// immediate duplicate ACK while this holds).
+    pub fn has_ooo(&self) -> bool {
+        !self.ooo.is_empty()
+    }
+
+    /// Ingest a data segment. Returns `true` if `rcv_nxt` advanced (new
+    /// in-order data became available).
+    pub fn ingest(&mut self, seq: u64, mut payload: Bytes) -> bool {
+        if payload.is_empty() {
+            return false;
+        }
+        let end = seq + payload.len() as u64;
+        // Entirely old? Pure duplicate.
+        if end <= self.rcv_nxt {
+            self.dup_bytes += payload.len() as u64;
+            return false;
+        }
+        // Trim the already-received prefix.
+        let mut seq = seq;
+        if seq < self.rcv_nxt {
+            let trim = (self.rcv_nxt - seq) as usize;
+            self.dup_bytes += trim as u64;
+            payload.advance_impl(trim);
+            seq = self.rcv_nxt;
+        }
+        // Trim against overlapping out-of-order holdings (exact duplicates
+        // of retransmitted segments are the common case).
+        if let Some((&exist_seq, exist)) = self.ooo.range(..=seq).next_back() {
+            let exist_end = exist_seq + exist.len() as u64;
+            if exist_end >= seq + payload.len() as u64 {
+                self.dup_bytes += payload.len() as u64;
+                return false; // fully contained in an existing segment
+            }
+            if exist_end > seq {
+                let trim = (exist_end - seq) as usize;
+                self.dup_bytes += trim as u64;
+                payload.advance_impl(trim);
+                seq = exist_end;
+            }
+        }
+        // Trim the tail against the next segment above us.
+        if let Some((&above_seq, _)) = self.ooo.range(seq..).next() {
+            let our_end = seq + payload.len() as u64;
+            if above_seq < our_end {
+                let keep = (above_seq - seq) as usize;
+                self.dup_bytes += (payload.len() - keep) as u64;
+                payload.truncate(keep);
+            }
+        }
+        if payload.is_empty() {
+            return false;
+        }
+        self.ooo.insert(seq, payload);
+        // Advance rcv_nxt through any now-contiguous run.
+        let mut advanced = false;
+        while let Some(entry) = self.ooo.remove(&self.rcv_nxt) {
+            self.rcv_nxt += entry.len() as u64;
+            self.assembled_len += entry.len() as u64;
+            self.assembled.push_back(entry);
+            advanced = true;
+        }
+        advanced
+    }
+
+    /// Read the next in-order chunk, if any.
+    pub fn read(&mut self) -> Option<Bytes> {
+        let chunk = self.assembled.pop_front()?;
+        self.assembled_len -= chunk.len() as u64;
+        Some(chunk)
+    }
+
+    /// In-order bytes available to read.
+    pub fn readable(&self) -> u64 {
+        self.assembled_len
+    }
+}
+
+/// Tiny extension to make `Bytes::advance` available without importing the
+/// `Buf` trait at every call site.
+trait AdvanceImpl {
+    fn advance_impl(&mut self, n: usize);
+}
+
+impl AdvanceImpl for Bytes {
+    fn advance_impl(&mut self, n: usize) {
+        use bytes::Buf;
+        self.advance(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn send_buffer_fifo_and_len() {
+        let mut b = SendBuffer::new();
+        b.write(Bytes::from_static(b"hello "));
+        b.write(Bytes::from_static(b"world"));
+        assert_eq!(b.len(), 11);
+        assert_eq!(&b.pull(6)[..], b"hello ");
+        assert_eq!(&b.pull(100)[..], b"world");
+        assert!(b.is_empty());
+        assert!(b.pull(5).is_empty());
+    }
+
+    #[test]
+    fn send_buffer_coalesces_across_chunks() {
+        let mut b = SendBuffer::new();
+        b.write(Bytes::from_static(b"ab"));
+        b.write(Bytes::from_static(b"cd"));
+        b.write(Bytes::from_static(b"ef"));
+        let out = b.pull(5);
+        assert_eq!(&out[..], b"abcde");
+        assert_eq!(b.len(), 1);
+        assert_eq!(&b.pull(1)[..], b"f");
+    }
+
+    #[test]
+    fn send_buffer_ignores_empty_writes() {
+        let mut b = SendBuffer::new();
+        b.write(Bytes::new());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn recv_in_order() {
+        let mut r = RecvBuffer::new(0, 1024);
+        assert!(r.ingest(0, bytes_of(10, b'a')));
+        assert_eq!(r.rcv_nxt(), 10);
+        assert_eq!(r.readable(), 10);
+        assert_eq!(r.read().unwrap().len(), 10);
+        assert_eq!(r.readable(), 0);
+    }
+
+    #[test]
+    fn recv_out_of_order_reassembles() {
+        let mut r = RecvBuffer::new(0, 1024);
+        assert!(!r.ingest(10, bytes_of(10, b'b')), "hole: nothing advances");
+        assert!(r.has_ooo());
+        assert_eq!(r.rcv_nxt(), 0);
+        assert!(r.ingest(0, bytes_of(10, b'a')), "hole filled");
+        assert_eq!(r.rcv_nxt(), 20);
+        assert!(!r.has_ooo());
+        assert_eq!(r.readable(), 20);
+    }
+
+    #[test]
+    fn recv_pure_duplicate_counts_dup_bytes() {
+        let mut r = RecvBuffer::new(0, 1024);
+        r.ingest(0, bytes_of(10, b'a'));
+        assert!(!r.ingest(0, bytes_of(10, b'a')), "full duplicate");
+        assert_eq!(r.dup_bytes(), 10);
+        assert_eq!(r.rcv_nxt(), 10);
+    }
+
+    #[test]
+    fn recv_partial_overlap_trims_prefix() {
+        let mut r = RecvBuffer::new(0, 1024);
+        r.ingest(0, bytes_of(10, b'a'));
+        // Bytes 5..15: first 5 are duplicates.
+        assert!(r.ingest(5, bytes_of(10, b'b')));
+        assert_eq!(r.rcv_nxt(), 15);
+        assert_eq!(r.dup_bytes(), 5);
+    }
+
+    #[test]
+    fn recv_duplicate_of_parked_ooo_segment() {
+        let mut r = RecvBuffer::new(0, 1024);
+        r.ingest(10, bytes_of(10, b'b'));
+        assert!(
+            !r.ingest(10, bytes_of(10, b'b')),
+            "duplicate of parked segment"
+        );
+        assert_eq!(r.dup_bytes(), 10);
+        r.ingest(0, bytes_of(10, b'a'));
+        assert_eq!(r.rcv_nxt(), 20, "stream assembles exactly once");
+        let total: usize = std::iter::from_fn(|| r.read()).map(|b| b.len()).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn recv_overlap_with_segment_above() {
+        let mut r = RecvBuffer::new(0, 1024);
+        r.ingest(10, bytes_of(10, b'c')); // [10, 20)
+        r.ingest(5, bytes_of(10, b'b')); // [5, 15) → keep [5, 10)
+        assert_eq!(r.dup_bytes(), 5);
+        r.ingest(0, bytes_of(5, b'a')); // [0, 5)
+        assert_eq!(r.rcv_nxt(), 20);
+    }
+
+    #[test]
+    fn window_shrinks_with_unread_data() {
+        let mut r = RecvBuffer::new(0, 100);
+        assert_eq!(r.window(), 100);
+        r.ingest(0, bytes_of(30, b'a'));
+        assert_eq!(r.window(), 70);
+        r.ingest(50, bytes_of(20, b'c'));
+        assert_eq!(r.window(), 50, "ooo data also occupies the buffer");
+        r.read();
+        assert_eq!(r.window(), 80);
+    }
+
+    #[test]
+    fn empty_payload_is_noop() {
+        let mut r = RecvBuffer::new(0, 100);
+        assert!(!r.ingest(0, Bytes::new()));
+        assert_eq!(r.rcv_nxt(), 0);
+    }
+
+    #[test]
+    fn nonzero_initial_sequence() {
+        let mut r = RecvBuffer::new(1000, 1024);
+        assert!(r.ingest(1000, bytes_of(10, b'x')));
+        assert_eq!(r.rcv_nxt(), 1010);
+        assert!(
+            !r.ingest(500, bytes_of(10, b'y')),
+            "ancient data is a duplicate"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! The host-wide TCP destination metrics cache.
+//!
+//! Linux caches `ssthresh` and RTT statistics per destination
+//! (`tcp_metrics`, formerly the route cache) and seeds new connections from
+//! it. The paper's §6.2.4 finds this *hurts* on cellular: stale metrics
+//! from a past connection (possibly taken during a promotion-mangled
+//! episode) poison fresh connections. Disabling the cache
+//! (`tcp_no_metrics_save`) improved median page loads by ~35%.
+
+use serde::Serialize;
+use spdyier_sim::SimDuration;
+use std::collections::HashMap;
+
+/// The per-destination snapshot Linux would save at connection close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CachedMetrics {
+    /// Slow-start threshold at close, bytes.
+    pub ssthresh: u64,
+    /// Smoothed RTT at close.
+    pub srtt: SimDuration,
+    /// RTT variance at close.
+    pub rttvar: SimDuration,
+}
+
+/// Host-wide cache keyed by destination label (e.g. `"proxy"` or a domain).
+#[derive(Debug, Default)]
+pub struct TcpMetricsCache {
+    entries: HashMap<String, CachedMetrics>,
+    stores: u64,
+    hits: u64,
+}
+
+impl TcpMetricsCache {
+    /// An empty cache.
+    pub fn new() -> TcpMetricsCache {
+        TcpMetricsCache::default()
+    }
+
+    /// Save metrics at connection close (no-op when `metrics` is `None`,
+    /// e.g. a connection that never sampled an RTT).
+    pub fn store(&mut self, dest: &str, metrics: CachedMetrics) {
+        self.stores += 1;
+        self.entries.insert(dest.to_owned(), metrics);
+    }
+
+    /// Look up metrics for a new connection to `dest`.
+    pub fn lookup(&mut self, dest: &str) -> Option<CachedMetrics> {
+        let hit = self.entries.get(dest).copied();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Number of destinations cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(stores, hits)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.stores, self.hits)
+    }
+
+    /// Drop everything (the `tcp_no_metrics_save` + flush experiment).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(ssthresh: u64) -> CachedMetrics {
+        CachedMetrics {
+            ssthresh,
+            srtt: SimDuration::from_millis(150),
+            rttvar: SimDuration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn store_then_lookup() {
+        let mut c = TcpMetricsCache::new();
+        assert!(c.lookup("proxy").is_none());
+        c.store("proxy", metrics(20_000));
+        assert_eq!(c.lookup("proxy").unwrap().ssthresh, 20_000);
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn newer_store_overwrites() {
+        let mut c = TcpMetricsCache::new();
+        c.store("proxy", metrics(20_000));
+        c.store("proxy", metrics(5_000));
+        assert_eq!(c.lookup("proxy").unwrap().ssthresh, 5_000);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn destinations_are_independent() {
+        let mut c = TcpMetricsCache::new();
+        c.store("a.example", metrics(1_000));
+        c.store("b.example", metrics(2_000));
+        assert_eq!(c.lookup("a.example").unwrap().ssthresh, 1_000);
+        assert_eq!(c.lookup("b.example").unwrap().ssthresh, 2_000);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = TcpMetricsCache::new();
+        c.store("proxy", metrics(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.lookup("proxy").is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! The paper's Table 1: characteristics of the 20 tested websites.
+//!
+//! These are the published per-site averages (total objects, bytes,
+//! domains, and the text / JS+CSS / image mix) that parameterise page
+//! synthesis. Site names are the paper's categories — the paper anonymises
+//! the actual domains.
+
+use serde::Serialize;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SiteSpec {
+    /// 1-based site number as plotted in Figs. 3–5.
+    pub index: u32,
+    /// Category label from Table 1.
+    pub category: &'static str,
+    /// Average total objects (including the root page).
+    pub total_objects: f64,
+    /// Average page weight, kilobytes.
+    pub avg_size_kb: f64,
+    /// Average number of distinct domains.
+    pub domains: f64,
+    /// Average text (HTML/JSON/XML) objects.
+    pub text_objects: f64,
+    /// Average JavaScript + CSS objects.
+    pub js_css_objects: f64,
+    /// Average images + other objects.
+    pub image_objects: f64,
+}
+
+/// Table 1, verbatim.
+pub const TABLE1: [SiteSpec; 20] = [
+    SiteSpec {
+        index: 1,
+        category: "Finance",
+        total_objects: 134.8,
+        avg_size_kb: 626.9,
+        domains: 37.6,
+        text_objects: 28.6,
+        js_css_objects: 41.3,
+        image_objects: 64.9,
+    },
+    SiteSpec {
+        index: 2,
+        category: "Entertainment",
+        total_objects: 160.6,
+        avg_size_kb: 2197.3,
+        domains: 36.3,
+        text_objects: 16.5,
+        js_css_objects: 28.0,
+        image_objects: 116.1,
+    },
+    SiteSpec {
+        index: 3,
+        category: "Shopping",
+        total_objects: 143.8,
+        avg_size_kb: 1563.1,
+        domains: 15.8,
+        text_objects: 13.3,
+        js_css_objects: 36.8,
+        image_objects: 93.7,
+    },
+    SiteSpec {
+        index: 4,
+        category: "Portal",
+        total_objects: 121.6,
+        avg_size_kb: 963.3,
+        domains: 27.5,
+        text_objects: 9.6,
+        js_css_objects: 18.3,
+        image_objects: 93.7,
+    },
+    SiteSpec {
+        index: 5,
+        category: "Technology",
+        total_objects: 45.2,
+        avg_size_kb: 602.8,
+        domains: 3.0,
+        text_objects: 2.0,
+        js_css_objects: 18.0,
+        image_objects: 25.2,
+    },
+    SiteSpec {
+        index: 6,
+        category: "ISP",
+        total_objects: 163.4,
+        avg_size_kb: 1594.5,
+        domains: 13.2,
+        text_objects: 13.2,
+        js_css_objects: 36.4,
+        image_objects: 113.8,
+    },
+    SiteSpec {
+        index: 7,
+        category: "News",
+        total_objects: 115.8,
+        avg_size_kb: 1130.6,
+        domains: 28.5,
+        text_objects: 9.1,
+        js_css_objects: 49.5,
+        image_objects: 57.2,
+    },
+    SiteSpec {
+        index: 8,
+        category: "News",
+        total_objects: 157.7,
+        avg_size_kb: 1184.5,
+        domains: 27.3,
+        text_objects: 29.6,
+        js_css_objects: 28.3,
+        image_objects: 99.8,
+    },
+    SiteSpec {
+        index: 9,
+        category: "Shopping",
+        total_objects: 5.1,
+        avg_size_kb: 56.2,
+        domains: 2.0,
+        text_objects: 3.1,
+        js_css_objects: 2.0,
+        image_objects: 0.0,
+    },
+    SiteSpec {
+        index: 10,
+        category: "Auction",
+        total_objects: 59.3,
+        avg_size_kb: 719.7,
+        domains: 17.9,
+        text_objects: 6.8,
+        js_css_objects: 7.0,
+        image_objects: 45.5,
+    },
+    SiteSpec {
+        index: 11,
+        category: "Online Radio",
+        total_objects: 122.1,
+        avg_size_kb: 1489.1,
+        domains: 17.9,
+        text_objects: 24.1,
+        js_css_objects: 21.0,
+        image_objects: 77.0,
+    },
+    SiteSpec {
+        index: 12,
+        category: "Photo Sharing",
+        total_objects: 29.4,
+        avg_size_kb: 688.0,
+        domains: 4.0,
+        text_objects: 2.3,
+        js_css_objects: 10.0,
+        image_objects: 17.1,
+    },
+    SiteSpec {
+        index: 13,
+        category: "Technology",
+        total_objects: 63.4,
+        avg_size_kb: 895.1,
+        domains: 9.0,
+        text_objects: 4.1,
+        js_css_objects: 15.0,
+        image_objects: 44.3,
+    },
+    SiteSpec {
+        index: 14,
+        category: "Baseball",
+        total_objects: 167.8,
+        avg_size_kb: 1130.5,
+        domains: 12.5,
+        text_objects: 19.5,
+        js_css_objects: 94.0,
+        image_objects: 54.3,
+    },
+    SiteSpec {
+        index: 15,
+        category: "News",
+        total_objects: 323.0,
+        avg_size_kb: 1722.7,
+        domains: 84.7,
+        text_objects: 73.4,
+        js_css_objects: 73.6,
+        image_objects: 176.0,
+    },
+    SiteSpec {
+        index: 16,
+        category: "Football",
+        total_objects: 267.1,
+        avg_size_kb: 2311.0,
+        domains: 75.0,
+        text_objects: 60.3,
+        js_css_objects: 56.9,
+        image_objects: 149.9,
+    },
+    SiteSpec {
+        index: 17,
+        category: "News",
+        total_objects: 218.5,
+        avg_size_kb: 4691.3,
+        domains: 37.0,
+        text_objects: 19.0,
+        js_css_objects: 56.3,
+        image_objects: 143.2,
+    },
+    SiteSpec {
+        index: 18,
+        category: "Photo Sharing",
+        total_objects: 33.6,
+        avg_size_kb: 1664.8,
+        domains: 9.1,
+        text_objects: 3.3,
+        js_css_objects: 6.7,
+        image_objects: 23.6,
+    },
+    SiteSpec {
+        index: 19,
+        category: "Online Radio",
+        total_objects: 68.7,
+        avg_size_kb: 2908.9,
+        domains: 15.5,
+        text_objects: 5.2,
+        js_css_objects: 23.8,
+        image_objects: 39.7,
+    },
+    SiteSpec {
+        index: 20,
+        category: "Weather",
+        total_objects: 163.2,
+        avg_size_kb: 1653.8,
+        domains: 48.7,
+        text_objects: 19.7,
+        js_css_objects: 45.3,
+        image_objects: 98.2,
+    },
+];
+
+impl SiteSpec {
+    /// Spec by 1-based site number.
+    pub fn by_index(index: u32) -> Option<&'static SiteSpec> {
+        TABLE1.get(index.checked_sub(1)? as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_sites_in_order() {
+        assert_eq!(TABLE1.len(), 20);
+        for (i, s) in TABLE1.iter().enumerate() {
+            assert_eq!(s.index as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn object_mix_roughly_sums_to_total() {
+        // Text + JS/CSS + images ≈ total objects per the table.
+        for s in &TABLE1 {
+            let mix = s.text_objects + s.js_css_objects + s.image_objects;
+            assert!(
+                (mix - s.total_objects).abs() <= s.total_objects * 0.15 + 2.0,
+                "site {}: mix {} vs total {}",
+                s.index,
+                mix,
+                s.total_objects
+            );
+        }
+    }
+
+    #[test]
+    fn known_extremes_match_the_paper() {
+        // Paper: 5 to 323 objects; 3 to 84 domains.
+        let min_obj = TABLE1
+            .iter()
+            .map(|s| s.total_objects)
+            .fold(f64::MAX, f64::min);
+        let max_obj = TABLE1.iter().map(|s| s.total_objects).fold(0.0, f64::max);
+        assert_eq!(min_obj, 5.1);
+        assert_eq!(max_obj, 323.0);
+        let max_dom = TABLE1.iter().map(|s| s.domains).fold(0.0, f64::max);
+        assert_eq!(max_dom, 84.7);
+    }
+
+    #[test]
+    fn lookup_by_index() {
+        assert_eq!(SiteSpec::by_index(17).unwrap().avg_size_kb, 4691.3);
+        assert!(SiteSpec::by_index(0).is_none());
+        assert!(SiteSpec::by_index(21).is_none());
+    }
+}

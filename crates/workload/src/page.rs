@@ -1,0 +1,251 @@
+//! The web-page object model.
+//!
+//! A page is a set of objects with a *discovery* (dependency) forest rooted
+//! at the main HTML document: the browser cannot know an object exists —
+//! let alone request it — until the object that references it has been
+//! downloaded **and evaluated**. The paper's §5.2 attributes SPDY's stepped
+//! request pattern (Fig. 6) exactly to these interdependencies.
+
+use serde::Serialize;
+use spdyier_sim::SimDuration;
+
+/// Index of an object within its page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct ObjectId(pub u32);
+
+/// Content classes from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ObjectKind {
+    /// HTML documents (the root, iframes, fragments).
+    Html,
+    /// JavaScript — evaluated sequentially, may reveal more objects.
+    Script,
+    /// CSS — evaluated, may reveal more objects (fonts, images).
+    Stylesheet,
+    /// Images.
+    Image,
+    /// Everything else (fonts, media, beacons).
+    Other,
+}
+
+impl ObjectKind {
+    /// SPDY/3 priority the browser assigns (0 = highest).
+    pub fn spdy_priority(self) -> u8 {
+        match self {
+            ObjectKind::Html => 0,
+            ObjectKind::Script | ObjectKind::Stylesheet => 1,
+            ObjectKind::Image => 3,
+            ObjectKind::Other => 4,
+        }
+    }
+
+    /// Does downloading this object class trigger an evaluation step that
+    /// can reveal further objects?
+    pub fn is_evaluated(self) -> bool {
+        matches!(
+            self,
+            ObjectKind::Html | ObjectKind::Script | ObjectKind::Stylesheet
+        )
+    }
+}
+
+/// One object on a page.
+#[derive(Debug, Clone, Serialize)]
+pub struct WebObject {
+    /// Page-local id; the root HTML is always id 0.
+    pub id: ObjectId,
+    /// Domain serving the object.
+    pub domain: String,
+    /// Path on that domain.
+    pub path: String,
+    /// Body size, bytes.
+    pub size: u64,
+    /// Content class.
+    pub kind: ObjectKind,
+    /// The object whose evaluation reveals this one (`None` only for the
+    /// root).
+    pub discovered_by: Option<ObjectId>,
+    /// Parse/evaluation time once downloaded (zero for images).
+    pub eval_time: SimDuration,
+}
+
+/// A complete page.
+#[derive(Debug, Clone, Serialize)]
+pub struct WebPage {
+    /// Site label (Table 1 category).
+    pub name: String,
+    /// All objects; index = `ObjectId.0`; `objects[0]` is the root HTML.
+    pub objects: Vec<WebObject>,
+}
+
+impl WebPage {
+    /// The root HTML document.
+    pub fn root(&self) -> &WebObject {
+        &self.objects[0]
+    }
+
+    /// Object by id.
+    pub fn object(&self, id: ObjectId) -> &WebObject {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Number of objects including the root.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total body bytes across objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.iter().map(|o| o.size).sum()
+    }
+
+    /// Distinct domains.
+    pub fn domains(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.objects.iter().map(|o| o.domain.as_str()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Count of objects of a kind.
+    pub fn count_kind(&self, kind: ObjectKind) -> usize {
+        self.objects.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Ids of objects directly revealed by `parent`'s evaluation.
+    pub fn children_of(&self, parent: ObjectId) -> Vec<ObjectId> {
+        self.objects
+            .iter()
+            .filter(|o| o.discovered_by == Some(parent))
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Validate structural invariants (ids match indices, parents precede
+    /// children, root is HTML, the discovery forest is acyclic by
+    /// construction). Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.objects.is_empty() {
+            return Err("page has no objects".into());
+        }
+        if self.objects[0].kind != ObjectKind::Html {
+            return Err("root is not HTML".into());
+        }
+        if self.objects[0].discovered_by.is_some() {
+            return Err("root has a parent".into());
+        }
+        for (i, o) in self.objects.iter().enumerate() {
+            if o.id.0 as usize != i {
+                return Err(format!("object {} id mismatch", i));
+            }
+            if let Some(parent) = o.discovered_by {
+                if parent.0 as usize >= i {
+                    return Err(format!(
+                        "object {} discovered by later object {}",
+                        i, parent.0
+                    ));
+                }
+                if !self.objects[parent.0 as usize].kind.is_evaluated() {
+                    return Err(format!("object {} discovered by non-evaluated parent", i));
+                }
+            } else if i != 0 {
+                return Err(format!("non-root object {} has no parent", i));
+            }
+            if o.size == 0 {
+                return Err(format!("object {} has zero size", i));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_page() -> WebPage {
+        WebPage {
+            name: "tiny".into(),
+            objects: vec![
+                WebObject {
+                    id: ObjectId(0),
+                    domain: "a.example".into(),
+                    path: "/".into(),
+                    size: 10_000,
+                    kind: ObjectKind::Html,
+                    discovered_by: None,
+                    eval_time: SimDuration::from_millis(20),
+                },
+                WebObject {
+                    id: ObjectId(1),
+                    domain: "a.example".into(),
+                    path: "/app.js".into(),
+                    size: 30_000,
+                    kind: ObjectKind::Script,
+                    discovered_by: Some(ObjectId(0)),
+                    eval_time: SimDuration::from_millis(15),
+                },
+                WebObject {
+                    id: ObjectId(2),
+                    domain: "cdn.example".into(),
+                    path: "/hero.png".into(),
+                    size: 80_000,
+                    kind: ObjectKind::Image,
+                    discovered_by: Some(ObjectId(1)),
+                    eval_time: SimDuration::ZERO,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = tiny_page();
+        assert_eq!(p.object_count(), 3);
+        assert_eq!(p.total_bytes(), 120_000);
+        assert_eq!(p.domains(), vec!["a.example", "cdn.example"]);
+        assert_eq!(p.count_kind(ObjectKind::Image), 1);
+        assert_eq!(p.children_of(ObjectId(0)), vec![ObjectId(1)]);
+        assert_eq!(p.children_of(ObjectId(1)), vec![ObjectId(2)]);
+        assert_eq!(p.root().kind, ObjectKind::Html);
+    }
+
+    #[test]
+    fn validates_well_formed_page() {
+        assert_eq!(tiny_page().validate(), Ok(()));
+    }
+
+    #[test]
+    fn rejects_root_anomalies() {
+        let mut p = tiny_page();
+        p.objects[0].kind = ObjectKind::Image;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_forward_discovery() {
+        let mut p = tiny_page();
+        p.objects[1].discovered_by = Some(ObjectId(2));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_image_parents() {
+        let mut p = tiny_page();
+        // Make object 2 an image-parent of nothing — instead point 1 at an
+        // image parent by reordering kinds.
+        p.objects[0].kind = ObjectKind::Html;
+        p.objects[1].discovered_by = Some(ObjectId(0));
+        p.objects[1].kind = ObjectKind::Image;
+        p.objects[2].discovered_by = Some(ObjectId(1));
+        assert!(p.validate().is_err(), "images reveal nothing");
+    }
+
+    #[test]
+    fn priorities_follow_content_class() {
+        assert_eq!(ObjectKind::Html.spdy_priority(), 0);
+        assert!(ObjectKind::Script.spdy_priority() < ObjectKind::Image.spdy_priority());
+        assert!(ObjectKind::Html.is_evaluated());
+        assert!(!ObjectKind::Image.is_evaluated());
+    }
+}

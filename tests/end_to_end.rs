@@ -1,0 +1,192 @@
+//! End-to-end integration tests: full page loads through every layer of
+//! the testbed (browser → SPDY/HTTP → TCP → RRC-gated link → proxy →
+//! wired → origins) on every network preset.
+
+use spdyier::core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode, RunResult};
+use spdyier::sim::SimDuration;
+use spdyier::workload::VisitSchedule;
+
+fn run(protocol: ProtocolMode, network: NetworkKind, sites: Vec<u32>, seed: u64) -> RunResult {
+    let cfg = ExperimentConfig::paper_3g(protocol, seed)
+        .with_network(network)
+        .with_schedule(VisitSchedule::sequential(sites, SimDuration::from_secs(60)));
+    run_experiment(cfg)
+}
+
+#[test]
+fn every_network_and_protocol_completes_a_load() {
+    for network in [
+        NetworkKind::Wifi,
+        NetworkKind::Umts3G,
+        NetworkKind::Umts3GPinned,
+        NetworkKind::Lte,
+    ] {
+        for protocol in [ProtocolMode::Http, ProtocolMode::spdy()] {
+            let r = run(protocol, network, vec![12], 1);
+            assert_eq!(r.visits.len(), 1, "{network:?}/{protocol:?}");
+            assert!(
+                r.visits[0].completed,
+                "{network:?}/{protocol:?} failed to complete"
+            );
+            assert!(r.visits[0].plt_ms > 0.0);
+        }
+    }
+}
+
+#[test]
+fn completed_visits_have_complete_object_timings() {
+    let r = run(ProtocolMode::spdy(), NetworkKind::Umts3G, vec![5, 9], 2);
+    for v in &r.visits {
+        assert!(v.completed);
+        assert_eq!(v.object_timings.len(), v.object_count);
+        for (i, t) in v.object_timings.iter().enumerate() {
+            assert!(t.discovered.is_some(), "object {i} never discovered");
+            assert!(t.requested.is_some(), "object {i} never requested");
+            assert!(t.first_byte.is_some(), "object {i} no first byte");
+            assert!(t.complete.is_some(), "object {i} never completed");
+            let d = t.discovered.unwrap();
+            let rq = t.requested.unwrap();
+            let fb = t.first_byte.unwrap();
+            let c = t.complete.unwrap();
+            assert!(
+                d <= rq && rq <= fb && fb <= c,
+                "object {i} boundaries ordered"
+            );
+        }
+    }
+}
+
+#[test]
+fn network_ordering_wifi_lte_3g() {
+    // WiFi < LTE < 3G page load times for the same site and protocol.
+    let wifi = run(ProtocolMode::Http, NetworkKind::Wifi, vec![5], 3);
+    let lte = run(ProtocolMode::Http, NetworkKind::Lte, vec![5], 3);
+    let g3 = run(ProtocolMode::Http, NetworkKind::Umts3G, vec![5], 3);
+    let (w, l, g) = (
+        wifi.visits[0].plt_ms,
+        lte.visits[0].plt_ms,
+        g3.visits[0].plt_ms,
+    );
+    assert!(w < l, "WiFi ({w}) faster than LTE ({l})");
+    assert!(l < g, "LTE ({l}) faster than 3G ({g})");
+}
+
+#[test]
+fn three_g_pays_the_promotion_delay() {
+    let pinned = run(ProtocolMode::spdy(), NetworkKind::Umts3GPinned, vec![9], 4);
+    let normal = run(ProtocolMode::spdy(), NetworkKind::Umts3G, vec![9], 4);
+    // Same bearer; the only difference is the RRC machine. The promotion is
+    // ~2 s, so the gap must be at least one second.
+    assert!(
+        normal.visits[0].plt_ms > pinned.visits[0].plt_ms + 1_000.0,
+        "promotion cost visible: {} vs {}",
+        normal.visits[0].plt_ms,
+        pinned.visits[0].plt_ms
+    );
+    assert!(!normal.promotions.is_empty());
+    assert!(pinned.promotions.is_empty());
+}
+
+#[test]
+fn determinism_full_stack() {
+    let a = run(ProtocolMode::spdy(), NetworkKind::Umts3G, vec![7, 12], 9);
+    let b = run(ProtocolMode::spdy(), NetworkKind::Umts3G, vec![7, 12], 9);
+    let plts_a: Vec<f64> = a.visits.iter().map(|v| v.plt_ms).collect();
+    let plts_b: Vec<f64> = b.visits.iter().map(|v| v.plt_ms).collect();
+    assert_eq!(plts_a, plts_b);
+    assert_eq!(a.total_retransmissions, b.total_retransmissions);
+    assert_eq!(a.promotions.len(), b.promotions.len());
+    assert_eq!(a.energy_mj, b.energy_mj);
+}
+
+#[test]
+fn different_seeds_vary() {
+    let a = run(ProtocolMode::Http, NetworkKind::Umts3G, vec![7], 1);
+    let b = run(ProtocolMode::Http, NetworkKind::Umts3G, vec![7], 2);
+    assert_ne!(
+        a.visits[0].plt_ms, b.visits[0].plt_ms,
+        "seeds must actually vary the run"
+    );
+}
+
+#[test]
+fn proxy_records_cover_every_object() {
+    let r = run(ProtocolMode::spdy(), NetworkKind::Wifi, vec![5], 5);
+    // Every page object produced a proxy-side fetch record.
+    assert!(r.proxy_records.len() >= r.visits[0].object_count);
+    for rec in &r.proxy_records {
+        assert!(
+            rec.origin_first_byte.is_some(),
+            "record {:?} missing first byte",
+            rec.fetch
+        );
+        assert!(rec.origin_done.is_some());
+    }
+}
+
+#[test]
+fn energy_accounting_is_positive_on_cellular() {
+    let r = run(ProtocolMode::Http, NetworkKind::Umts3G, vec![9], 6);
+    assert!(r.energy_mj > 0.0);
+    let wifi = run(ProtocolMode::Http, NetworkKind::Wifi, vec![9], 6);
+    assert_eq!(wifi.energy_mj, 0.0, "no radio model on WiFi");
+}
+
+#[test]
+fn spdy_single_connection_http_many() {
+    let s = run(ProtocolMode::spdy(), NetworkKind::Wifi, vec![15], 7);
+    let h = run(ProtocolMode::Http, NetworkKind::Wifi, vec![15], 7);
+    assert_eq!(s.connections_opened, 1, "one SPDY session");
+    assert!(
+        h.connections_opened >= 10,
+        "HTTP pools many connections for an 85-domain site, got {}",
+        h.connections_opened
+    );
+}
+
+#[test]
+fn multiconn_spdy_opens_n_sessions() {
+    let r = run(
+        ProtocolMode::Spdy {
+            connections: 20,
+            late_binding: false,
+        },
+        NetworkKind::Wifi,
+        vec![9],
+        8,
+    );
+    assert_eq!(r.connections_opened, 20);
+    assert!(r.visits[0].completed);
+}
+
+#[test]
+fn late_binding_still_loads_pages() {
+    let r = run(
+        ProtocolMode::Spdy {
+            connections: 4,
+            late_binding: true,
+        },
+        NetworkKind::Wifi,
+        vec![5, 9],
+        9,
+    );
+    assert!(
+        r.visits.iter().all(|v| v.completed),
+        "late binding delivers everything"
+    );
+}
+
+#[test]
+fn custom_pages_load() {
+    let page = spdyier::workload::test_page(50, 40_000, true);
+    let cfg = ExperimentConfig::paper_3g(ProtocolMode::spdy(), 1)
+        .with_network(NetworkKind::Umts3G)
+        .with_schedule(VisitSchedule::sequential(
+            vec![1],
+            SimDuration::from_secs(60),
+        ))
+        .with_custom_pages(vec![page]);
+    let r = run_experiment(cfg);
+    assert!(r.visits[0].completed);
+    assert_eq!(r.visits[0].object_count, 51);
+}

@@ -1,0 +1,106 @@
+//! Fault-injection integration tests: the testbed must stay correct —
+//! every page still completes, every byte still arrives — under genuine
+//! packet loss, and degrade gracefully rather than collapse.
+
+use spdyier::core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode, RunResult};
+use spdyier::net::LossModel;
+use spdyier::sim::SimDuration;
+use spdyier::workload::VisitSchedule;
+
+fn run_lossy(protocol: ProtocolMode, loss: Option<LossModel>, sites: Vec<u32>) -> RunResult {
+    let mut cfg = ExperimentConfig::paper_3g(protocol, 11)
+        .with_network(NetworkKind::Wifi)
+        .with_schedule(VisitSchedule::sequential(sites, SimDuration::from_secs(60)));
+    cfg.access_loss = loss;
+    run_experiment(cfg)
+}
+
+#[test]
+fn pages_complete_under_one_percent_loss() {
+    for protocol in [ProtocolMode::Http, ProtocolMode::spdy()] {
+        let r = run_lossy(protocol, Some(LossModel::Bernoulli { p: 0.01 }), vec![5, 9]);
+        assert!(
+            r.visits.iter().all(|v| v.completed),
+            "{protocol:?} completed under 1% loss"
+        );
+        let (_, loss_drops) = r.downlink_drops;
+        assert!(loss_drops > 0, "loss actually occurred");
+    }
+}
+
+#[test]
+fn pages_complete_under_five_percent_loss() {
+    for protocol in [ProtocolMode::Http, ProtocolMode::spdy()] {
+        let r = run_lossy(protocol, Some(LossModel::Bernoulli { p: 0.05 }), vec![9]);
+        assert!(
+            r.visits[0].completed,
+            "{protocol:?} completed the 5-object site under 5% loss"
+        );
+    }
+}
+
+#[test]
+fn loss_slows_loads_monotonically_ish() {
+    let clean = run_lossy(ProtocolMode::spdy(), None, vec![5]);
+    let lossy = run_lossy(
+        ProtocolMode::spdy(),
+        Some(LossModel::Bernoulli { p: 0.03 }),
+        vec![5],
+    );
+    assert!(
+        lossy.visits[0].plt_ms > clean.visits[0].plt_ms,
+        "3% loss must cost time: {} vs {}",
+        lossy.visits[0].plt_ms,
+        clean.visits[0].plt_ms
+    );
+}
+
+#[test]
+fn bursty_loss_is_survivable() {
+    let r = run_lossy(
+        ProtocolMode::spdy(),
+        Some(LossModel::GilbertElliott {
+            p_good_to_bad: 0.002,
+            p_bad_to_good: 0.2,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        }),
+        vec![5, 12],
+    );
+    assert!(r.visits.iter().all(|v| v.completed), "bursty loss survived");
+    assert!(r.total_retransmissions > 0, "recovery actually happened");
+}
+
+#[test]
+fn genuine_loss_produces_genuine_retransmissions() {
+    // Under injected loss the spurious-dominance invariant must NOT hold:
+    // the analyzer correctly attributes retransmissions to real drops.
+    let r = run_lossy(
+        ProtocolMode::Http,
+        Some(LossModel::Bernoulli { p: 0.02 }),
+        vec![5, 12],
+    );
+    let (queue_drops, loss_drops) = r.downlink_drops;
+    let drops = queue_drops + loss_drops;
+    assert!(drops > 5, "drops recorded: {drops}");
+    assert!(
+        r.total_retransmissions as u64 >= drops / 2,
+        "retransmissions repair the drops: {} rtx vs {} drops",
+        r.total_retransmissions,
+        drops
+    );
+}
+
+#[test]
+fn lossy_cellular_compounds_with_promotions() {
+    let mut cfg = ExperimentConfig::paper_3g(ProtocolMode::spdy(), 13)
+        .with_network(NetworkKind::Umts3G)
+        .with_schedule(VisitSchedule::sequential(
+            vec![9],
+            SimDuration::from_secs(60),
+        ));
+    cfg.access_loss = Some(LossModel::Bernoulli { p: 0.02 });
+    let r = run_experiment(cfg);
+    assert!(r.visits[0].completed, "completes despite loss + promotions");
+    assert!(!r.promotions.is_empty());
+}
