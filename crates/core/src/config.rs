@@ -257,6 +257,12 @@ pub struct ExperimentConfig {
     /// Inject random loss on the access path (fault injection; residual
     /// loss the radio link layer failed to hide).
     pub access_loss: Option<LossModel>,
+    /// Dispatch at most this many events before declaring the run
+    /// livelocked. Exhaustion is reported as a structured
+    /// [`RunError`](crate::driver::RunError) from
+    /// [`try_run_experiment`](crate::try_run_experiment) (and a panic from
+    /// the infallible [`run_experiment`](crate::run_experiment)).
+    pub event_budget: u64,
 }
 
 impl ExperimentConfig {
@@ -280,7 +286,14 @@ impl ExperimentConfig {
             http_pipelining: 1,
             rrc_promotion_override: None,
             access_loss: None,
+            event_budget: 200_000_000,
         }
+    }
+
+    /// Builder: cap the number of dispatched events.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
     }
 
     /// Builder: swap the network.

@@ -1,7 +1,8 @@
-//! The testbed driver: a discrete-event simulation wiring the browser, the
-//! access network (RRC-gated cellular or WiFi), the protocol proxies, the
-//! wired cloud path, and the origin servers — all over the sans-IO TCP of
-//! `spdyier-tcp`.
+//! The testbed driver: a thin dispatcher wiring the layered harness
+//! together — the [`World`](crate::world::World) (clock, event queue,
+//! links, TCP pipes), the active protocol [`Side`] behind the
+//! [`AppSession`] contract, the [`Visits`] lifecycle, and the origin
+//! servers.
 //!
 //! Topology (paper Fig. 2):
 //!
@@ -9,219 +10,93 @@
 //! device (browser) ══ access path (3G/LTE/WiFi) ══ proxy ══ wired ══ origins
 //! ```
 //!
-//! Every leg is a real [`TcpConnection`] pair; packets pay serialisation,
-//! queueing, propagation, jitter, and — on cellular — RRC promotion delays.
+//! The driver owns only event dispatch and the cross-layer call order;
+//! everything protocol-specific lives in [`crate::session`], everything
+//! transport-specific in [`crate::world`], and everything
+//! page/visit-specific in [`crate::visits`].
 
-use crate::config::{AccessPath, ExperimentConfig, PageSource, ProtocolMode};
-use crate::results::{ConnTraceResult, RunResult, VisitResult};
+use crate::config::{ExperimentConfig, ProtocolMode};
+use crate::results::{ConnTraceResult, RunResult};
+use crate::session::{AppSession, PipeRole, SessionAction, SessionCtx, Side};
+use crate::visits::Visits;
+use crate::world::{Event, World};
 use bytes::Bytes;
-use spdyier_browser::PageLoad;
-use spdyier_http::{
-    Acquire, ConnectionPool, HttpClientConn, HttpServerConn, PoolConfig, PoolConnId, Request,
-};
-use spdyier_net::{presets as net_presets, Direction, DuplexPath, LinkVerdict};
+use spdyier_net::Direction;
 use spdyier_origin::{OriginConfig, OriginServers};
-use spdyier_proxy::{
-    ClientConnId, FetchId, HttpProxyCore, HttpProxyOutput, SpdyProxyCore, SpdyProxyOutput,
-};
-use spdyier_sim::{DetRng, EventId, EventQueue, SimDuration, SimTime};
-use spdyier_spdy::{Role, SpdyConfig, SpdyEvent, SpdySession};
-use spdyier_tcp::{Segment, TcpConfig, TcpConnection, TcpMetricsCache};
-use spdyier_workload::{synthesize, ObjectId, SiteSpec, WebPage};
-use std::collections::{HashMap, VecDeque};
+use spdyier_proxy::{ClientConnId, FetchId};
+use spdyier_sim::{SimDuration, SimTime};
+use spdyier_workload::ObjectId;
 
-/// Sentinel tag for beacon (non-page) requests on HTTP connections.
-const BEACON_TAG: u64 = u64::MAX;
-
-#[derive(Debug)]
-enum Event {
-    Deliver {
-        pipe: usize,
-        to_b: bool,
-        seg: Segment,
+/// A run failed in a structured, reportable way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The configured [`ExperimentConfig::event_budget`] was exhausted
+    /// before the run reached its horizon — almost always a livelock.
+    EventBudgetExhausted {
+        /// Events dispatched before giving up.
+        events: u64,
     },
-    Timer {
-        pipe: usize,
-        b_side: bool,
-    },
-    BrowserTimer,
-    Visit(usize),
-    VisitDeadline {
-        visit: usize,
-        generation: u64,
-    },
-    OriginReply {
-        pipe: usize,
-        bytes: Bytes,
-    },
-    SslReady {
-        pipe: usize,
-    },
-    PingTick,
-    Beacon,
-    IdleSweep,
-    EndRun,
 }
 
-/// What a client↔proxy or proxy↔origin pipe is used for.
-enum PipeRole {
-    /// One HTTP persistent connection, device↔proxy.
-    HttpClient {
-        pool_id: PoolConnId,
-        http: HttpClientConn,
-        /// `(generation, object-or-beacon)` requests in flight, FIFO
-        /// (length 1 without pipelining).
-        outstanding: VecDeque<(u64, u64)>,
-        /// Requests awaiting connection establishment / a pipeline slot.
-        pending: VecDeque<(u64, u64)>,
-        got_first_byte: bool,
-        /// Fetch ids owed by the proxy on this connection, FIFO.
-        fetch_queue: VecDeque<FetchId>,
-        /// Last instant a request was issued or a response completed.
-        last_use: SimTime,
-        retired: bool,
-    },
-    /// One SPDY session, device↔proxy. Session state lives in
-    /// [`Testbed::spdy_clients`] / [`Testbed::spdy_proxies`] at `idx`.
-    SpdyClient { idx: usize },
-    /// One HTTP persistent connection, proxy↔origin.
-    Origin {
-        domain: String,
-        http: HttpClientConn,
-        server: HttpServerConn,
-        current: Option<FetchId>,
-        pending: VecDeque<(FetchId, Request)>,
-        got_first_byte: bool,
-    },
-    /// Placeholder while a role is temporarily detached for processing.
-    Detached,
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let RunError::EventBudgetExhausted { events } = self;
+        write!(f, "event budget exhausted after {events} events")
+    }
 }
 
-struct Pipe {
-    a: TcpConnection,
-    b: TcpConnection,
-    /// True: device↔proxy over the access path; false: proxy↔origin over
-    /// the wired path.
-    over_access: bool,
-    role: PipeRole,
-    a_timer: Option<EventId>,
-    b_timer: Option<EventId>,
-    /// Staged application bytes awaiting TCP send-buffer space.
-    out_a: VecDeque<Bytes>,
-    out_b: VecDeque<Bytes>,
-    opened: SimTime,
-    label: String,
-    closed: bool,
-}
+impl std::error::Error for RunError {}
 
-struct SpdyClientState {
-    session: SpdySession,
-    pipe: usize,
-    usable: bool,
-    /// SSL-setup completion event scheduled (so we only schedule once).
-    ssl_scheduled: bool,
-    /// stream → (generation, object-or-beacon, first_byte_seen)
-    streams: HashMap<u32, (u64, u64, bool)>,
+/// Split-borrow `$self` into the active [`Side`] (bound to `$side`) plus
+/// a [`SessionCtx`] over the remaining harness layers (bound to `$ctx`),
+/// then evaluate `$body` with both in scope.
+macro_rules! with_side {
+    ($self:expr, $side:ident, $ctx:ident, $body:expr) => {{
+        let Testbed {
+            world,
+            visits,
+            result,
+            cfg,
+            side: $side,
+            ..
+        } = $self;
+        #[allow(unused_mut)]
+        let mut $ctx = SessionCtx {
+            world,
+            visits,
+            result,
+            cfg,
+        };
+        $body
+    }};
 }
 
 /// The assembled testbed for one run.
 pub struct Testbed {
     cfg: ExperimentConfig,
-    now: SimTime,
-    queue: EventQueue<Event>,
-    rng_net: DetRng,
-    rng_pages: DetRng,
-    rng_origin: DetRng,
-    access: AccessPath,
-    wired: DuplexPath,
-    pipes: Vec<Pipe>,
-    dirty: VecDeque<usize>,
-    pool: ConnectionPool,
-    http_proxy: HttpProxyCore,
-    spdy_clients: Vec<SpdyClientState>,
-    spdy_proxies: Vec<SpdyProxyCore>,
-    /// fetch → owning SPDY session index (HTTP fetches resolve via
-    /// the HTTP proxy core itself).
-    spdy_fetch_owner: HashMap<FetchId, usize>,
-    /// fetch → `(generation, object-or-beacon)` for late-binding delivery.
-    spdy_fetch_tag: HashMap<FetchId, (u64, u64)>,
-    /// `(session, stream)` of a late-bound response → `(owner, fetch)`.
-    late_stream_fetch: HashMap<(usize, u32), (usize, FetchId)>,
+    world: World,
+    visits: Visits,
+    side: Side,
     origin: OriginServers,
-    metrics_cache: TcpMetricsCache,
-    // Current visit.
-    visit_gen: u64,
-    current_visit: Option<usize>,
-    load: Option<PageLoad>,
-    current_page: Option<WebPage>,
-    browser_timer: Option<EventId>,
-    next_visit_start: SimTime,
-    beacon_domain: Option<String>,
-    /// Beacons already fired for the current inter-visit gap.
-    beacons_fired: u32,
-    spdy_rr: usize,
-    /// Re-entrancy guard: assign_ready_objects can be reached from within
-    /// itself via flush_pending_requests; inner calls must not act on a
-    /// stale ready snapshot.
+    /// Re-entrancy guard: object assignment must not act on a stale ready
+    /// snapshot if reached from within itself.
     assigning: bool,
     last_inflight: f64,
     result: RunResult,
     ended: bool,
 }
 
-/// Owner of an origin fetch.
-#[derive(Debug, Clone, Copy)]
-enum FetchOwner {
-    Http,
-    Spdy(#[allow(dead_code)] usize),
-}
-
 impl Testbed {
     /// Build a testbed for `cfg`.
-    #[allow(clippy::field_reassign_with_default)]
     pub fn new(cfg: ExperimentConfig) -> Testbed {
-        let root = DetRng::new(cfg.seed);
-        let mut access = cfg.network.build();
-        if let Some(promotion) = cfg.rrc_promotion_override {
-            if let Some(radio) = access.radio_mut() {
-                radio.set_promotion(promotion);
-            }
-        }
-        if let Some(loss) = cfg.access_loss {
-            access.set_loss(loss);
-        }
-        let mut result = RunResult::default();
-        result.protocol = cfg.protocol.label().to_string();
-        result.network = cfg.network.label().to_string();
-        result.seed = cfg.seed;
+        let world = World::new(&cfg);
+        let side = Side::for_cfg(&cfg);
+        let result = RunResult::new(cfg.protocol.label(), cfg.network.label(), cfg.seed);
         Testbed {
-            now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            rng_net: root.fork("net"),
-            rng_pages: root.fork("pages"),
-            rng_origin: root.fork("origin"),
-            access,
-            wired: net_presets::cloud_wired(2),
-            pipes: Vec::new(),
-            dirty: VecDeque::new(),
-            pool: ConnectionPool::new(PoolConfig::default()),
-            http_proxy: HttpProxyCore::new(),
-            spdy_clients: Vec::new(),
-            spdy_proxies: Vec::new(),
-            spdy_fetch_owner: HashMap::new(),
-            spdy_fetch_tag: HashMap::new(),
-            late_stream_fetch: HashMap::new(),
+            world,
+            visits: Visits::new(),
+            side,
             origin: OriginServers::new(OriginConfig::default()),
-            metrics_cache: TcpMetricsCache::new(),
-            visit_gen: 0,
-            current_visit: None,
-            load: None,
-            current_page: None,
-            browser_timer: None,
-            next_visit_start: SimTime::MAX,
-            beacon_domain: None,
-            beacons_fired: 0,
-            spdy_rr: 0,
             assigning: false,
             last_inflight: -1.0,
             result,
@@ -230,136 +105,79 @@ impl Testbed {
         }
     }
 
-    /// Execute the run to completion.
-    pub fn run(mut self) -> RunResult {
+    /// Execute the run to completion, panicking if the event budget is
+    /// exhausted (see [`Testbed::try_run`] for the structured form).
+    pub fn run(self) -> RunResult {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Execute the run to completion, or report a structured error if the
+    /// configured event budget runs out first.
+    pub fn try_run(mut self) -> Result<RunResult, RunError> {
         self.start();
-        let mut guard: u64 = 0;
-        while let Some((t, ev)) = self.queue.pop() {
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
+        let mut events: u64 = 0;
+        while let Some((t, ev)) = self.world.queue.pop() {
+            debug_assert!(t >= self.world.now, "time went backwards");
+            self.world.now = t;
             self.dispatch(ev);
             if self.ended {
                 break;
             }
-            guard += 1;
-            if guard > 200_000_000 {
-                panic!("event budget exhausted — livelock?");
+            events += 1;
+            if events > self.cfg.event_budget {
+                return Err(RunError::EventBudgetExhausted { events });
             }
         }
-        self.finalize()
+        Ok(self.finalize())
     }
 
     fn start(&mut self) {
-        let visits: Vec<(SimTime, u32)> = self.cfg.schedule.visits().collect();
-        for (i, (t, _)) in visits.iter().enumerate() {
-            self.queue.schedule(*t, Event::Visit(i));
+        for (i, (t, _)) in self.cfg.schedule.visits().enumerate() {
+            self.world.queue.schedule(t, Event::Visit(i));
         }
         let end = self.cfg.schedule.horizon() + self.cfg.visit_timeout;
-        self.queue.schedule(end, Event::EndRun);
+        self.world.queue.schedule(end, Event::EndRun);
         if let Some(interval) = self.cfg.keepalive_ping {
-            self.queue
+            self.world
+                .queue
                 .schedule(SimTime::ZERO + interval, Event::PingTick);
         }
         if self.cfg.http_idle_close.is_some() && matches!(self.cfg.protocol, ProtocolMode::Http) {
-            self.queue.schedule(SimTime::from_secs(5), Event::IdleSweep);
+            self.world
+                .queue
+                .schedule(SimTime::from_secs(5), Event::IdleSweep);
         }
         if let ProtocolMode::Spdy { connections, .. } = self.cfg.protocol {
             for _ in 0..connections {
-                self.open_spdy_session();
+                with_side!(self, side, ctx, {
+                    if let Side::Spdy(spdy) = side {
+                        spdy.open_session(&mut ctx);
+                    }
+                });
+                self.service_all();
             }
         }
     }
 
-    // ==================================================================
-    // Pipe plumbing
-    // ==================================================================
-
-    fn wired_tcp_config(&self) -> TcpConfig {
-        TcpConfig {
-            mss: 1460,
-            recv_buffer: 1024 * 1024,
-            send_buffer: 256 * 1024,
-            trace: false,
-            ..self.cfg.tcp
-        }
-    }
-
-    fn new_pipe(&mut self, over_access: bool, role: PipeRole, label: String) -> usize {
-        let tcp_cfg = if over_access {
-            TcpConfig {
-                trace: self.cfg.record_traces,
-                ..self.cfg.tcp
-            }
-        } else {
-            self.wired_tcp_config()
-        };
-        let mut a = TcpConnection::client(tcp_cfg);
-        let mut b = TcpConnection::server(tcp_cfg);
-        if self.cfg.cache_metrics {
-            let (a_key, b_key) = self.cache_keys(over_access, &role);
-            if let Some(m) = self.metrics_cache.lookup(&a_key) {
-                a.apply_cached_metrics(m);
-            }
-            if let Some(m) = self.metrics_cache.lookup(&b_key) {
-                b.apply_cached_metrics(m);
-            }
-        }
-        a.connect(self.now);
-        let idx = self.pipes.len();
-        self.pipes.push(Pipe {
-            a,
-            b,
-            over_access,
-            role,
-            a_timer: None,
-            b_timer: None,
-            out_a: VecDeque::new(),
-            out_b: VecDeque::new(),
-            opened: self.now,
-            label,
-            closed: false,
-        });
-        if over_access {
-            self.result.connections_opened += 1;
-        }
-        if matches!(self.pipes[idx].role, PipeRole::HttpClient { .. }) {
-            self.http_proxy
-                .on_client_connected(ClientConnId(idx as u64));
-        }
-        self.mark_dirty(idx);
-        idx
-    }
-
-    fn cache_keys(&self, over_access: bool, role: &PipeRole) -> (String, String) {
-        if over_access {
-            ("proxy".to_string(), "device".to_string())
-        } else if let PipeRole::Origin { domain, .. } = role {
-            (format!("origin:{domain}"), "proxy".to_string())
-        } else {
-            ("wired".to_string(), "wired".to_string())
-        }
-    }
-
-    fn mark_dirty(&mut self, idx: usize) {
-        if !self.dirty.contains(&idx) {
-            self.dirty.push_back(idx);
-        }
-    }
+    // ----- Pipe servicing -----
 
     /// Service all dirty pipes to quiescence.
     fn service_all(&mut self) {
         let mut guard = 0;
-        while let Some(idx) = self.dirty.pop_front() {
+        while let Some(idx) = self.world.dirty.pop_front() {
             guard += 1;
             assert!(guard < 1_000_000, "pipe servicing livelock");
-            if self.pipes[idx].closed {
+            if self.world.pipes[idx].closed {
                 continue;
             }
             self.service_reads(idx);
-            self.flush_staged(idx);
-            self.drain_tx(idx);
-            self.resched_timers(idx);
-            self.maybe_mark_closed(idx);
+            {
+                let Testbed { world, side, .. } = self;
+                world.flush_staged(idx, &mut |role| side.refill(role));
+            }
+            self.world.drain_tx(idx, &mut self.result);
+            self.world.resched_timers(idx);
+            self.world.maybe_mark_closed(idx);
         }
         self.sample_inflight();
         self.check_visit_complete();
@@ -370,818 +188,182 @@ impl Testbed {
         loop {
             guard += 1;
             assert!(guard < 100_000, "read loop livelock on pipe {idx}");
-            if let Some(data) = self.pipes[idx].a.read() {
+            if let Some(data) = self.world.pipes[idx].a.read() {
                 self.handle_a_read(idx, data);
                 continue;
             }
-            if let Some(data) = self.pipes[idx].b.read() {
+            if let Some(data) = self.world.pipes[idx].b.read() {
                 self.handle_b_read(idx, data);
                 continue;
             }
             break;
         }
-        // Establishment-driven work: flush pending requests.
-        self.flush_pending_requests(idx);
-        // SPDY SSL-ready detection.
-        self.detect_ssl_ready(idx);
-        // Peer-close handling for retired HTTP pipes.
-        self.handle_close_handshake(idx);
+        // Establishment-driven work: flush requests pending on this pipe,
+        // then (for origin pipes) issue the first queued fetch.
+        if self.world.pipes[idx].a.is_established() {
+            let issued = with_side!(self, side, ctx, side.flush_pending(&mut ctx, idx));
+            if issued {
+                // A completed handshake may unblock throttled opens.
+                self.assign_ready_objects();
+            }
+            self.world.issue_next_origin_fetch(idx);
+        }
+        // SPDY SSL-ready detection / retired-HTTP-pipe close handshakes.
+        with_side!(self, side, ctx, side.post_read(&mut ctx, idx));
     }
 
-    fn take_role(&mut self, idx: usize) -> PipeRole {
-        std::mem::replace(&mut self.pipes[idx].role, PipeRole::Detached)
-    }
-
-    fn put_role(&mut self, idx: usize, role: PipeRole) {
-        self.pipes[idx].role = role;
-    }
-
-    // ------------------------------------------------------------------
-    // a-side reads (device for access pipes; proxy for origin pipes)
-    // ------------------------------------------------------------------
+    // ----- a-side reads (device for access pipes; proxy for origin pipes) -----
 
     fn handle_a_read(&mut self, idx: usize, data: Bytes) {
-        let mut role = self.take_role(idx);
-        match &mut role {
-            PipeRole::HttpClient {
-                http,
-                outstanding,
-                got_first_byte,
-                fetch_queue,
-                pool_id,
-                last_use,
-                ..
-            } => {
-                if let Some(&(generation, tag)) = outstanding.front() {
-                    if !*got_first_byte && !data.is_empty() {
-                        *got_first_byte = true;
-                        if generation == self.visit_gen && tag != BEACON_TAG {
-                            if let Some(load) = self.load.as_mut() {
-                                load.note_first_byte(ObjectId(tag as u32), self.now);
-                            }
-                        }
-                    }
-                }
-                let done = http.on_bytes(&data).unwrap_or_default();
-                let pool_id = *pool_id;
-                for (tag, _resp) in done {
-                    outstanding.pop_front();
-                    *got_first_byte = false;
-                    *last_use = self.now;
-                    let generation = tag >> 32;
-                    let obj = tag & 0xFFFF_FFFF;
-                    if let Some(fetch) = fetch_queue.pop_front() {
-                        self.http_proxy.on_client_received(fetch, self.now);
-                    }
-                    if outstanding.is_empty() {
-                        self.pool.release(pool_id);
-                    }
-                    if generation == self.visit_gen && obj != (BEACON_TAG & 0xFFFF_FFFF) {
-                        if let Some(load) = self.load.as_mut() {
-                            load.note_complete(ObjectId(obj as u32), self.now);
-                        }
-                    }
-                }
-            }
+        match self.world.take_role(idx) {
             PipeRole::SpdyClient { idx: sidx } => {
-                let sidx = *sidx;
-                self.put_role(idx, role);
-                self.handle_spdy_client_bytes(sidx, data);
-                return;
+                self.world.put_role(idx, PipeRole::SpdyClient { idx: sidx });
+                with_side!(self, side, ctx, {
+                    if let Side::Spdy(spdy) = side {
+                        spdy.handle_client_bytes(&mut ctx, sidx, data);
+                    }
+                });
             }
-            PipeRole::Origin {
-                http,
-                current,
-                got_first_byte,
-                ..
-            } => {
-                if let Some(fetch) = *current {
-                    if !*got_first_byte && !data.is_empty() {
-                        *got_first_byte = true;
-                        self.on_fetch_first_byte(fetch);
+            mut role @ PipeRole::HttpClient { .. } => {
+                with_side!(self, side, ctx, {
+                    if let Side::Http(http) = side {
+                        http.on_device_bytes(&mut ctx, &mut role, data);
                     }
-                }
-                let done = http.on_bytes(&data).unwrap_or_default();
-                for (tag, resp) in done {
-                    *current = None;
-                    *got_first_byte = false;
-                    self.on_fetch_complete(FetchId(tag), resp);
-                }
+                });
+                self.world.put_role(idx, role);
             }
-            PipeRole::Detached => {}
-        }
-        self.put_role(idx, role);
-        // Completion may unblock new requests / next pending fetch.
-        self.issue_next_origin_fetch(idx);
-        self.assign_ready_objects();
-        self.reschedule_browser_timer();
-    }
-
-    fn handle_spdy_client_bytes(&mut self, sidx: usize, data: Bytes) {
-        let events = match self.spdy_clients[sidx].session.on_bytes(&data) {
-            Ok(ev) => ev,
-            Err(e) => {
-                debug_assert!(false, "client session {sidx} frame error: {e}");
-                return;
+            mut role @ PipeRole::Origin { .. } => {
+                // Completions route through the side while the role is
+                // detached — the origin pipe is invisible to fetch
+                // dispatch for the duration, exactly as before the split.
+                self.read_origin_bytes(&mut role, data);
+                self.world.put_role(idx, role);
             }
-        };
-        let pipe = self.spdy_clients[sidx].pipe;
-        for ev in events {
-            match ev {
-                SpdyEvent::Reply { stream_id, fin, .. } => {
-                    if let Some(&(generation, tag, _)) =
-                        self.spdy_clients[sidx].streams.get(&stream_id)
-                    {
-                        if generation == self.visit_gen && tag != BEACON_TAG {
-                            if let Some(load) = self.load.as_mut() {
-                                load.note_first_byte(ObjectId(tag as u32), self.now);
-                            }
-                        }
-                        if let Some(e) = self.spdy_clients[sidx].streams.get_mut(&stream_id) {
-                            e.2 = true;
-                        }
-                        if fin {
-                            self.spdy_stream_done(sidx, stream_id);
-                        }
-                    }
-                }
-                SpdyEvent::Data {
-                    stream_id,
-                    payload,
-                    fin,
-                } => {
-                    // Credit every stream (including server-pushed ones).
-                    self.spdy_clients[sidx]
-                        .session
-                        .consume(stream_id, payload.len() as u32);
-                    if let Some(&(generation, tag, first_seen)) =
-                        self.spdy_clients[sidx].streams.get(&stream_id)
-                    {
-                        if !first_seen {
-                            if generation == self.visit_gen && tag != BEACON_TAG {
-                                if let Some(load) = self.load.as_mut() {
-                                    load.note_first_byte(ObjectId(tag as u32), self.now);
-                                }
-                            }
-                            if let Some(e) = self.spdy_clients[sidx].streams.get_mut(&stream_id) {
-                                e.2 = true;
-                            }
-                        }
-                        if fin {
-                            self.spdy_stream_done(sidx, stream_id);
-                        }
-                    }
-                }
-                SpdyEvent::StreamOpened {
-                    stream_id, headers, ..
-                } => {
-                    // A late-bound response arrives on a server-initiated
-                    // stream tagged with the original request identity.
-                    let get = |k: &str| {
-                        headers
-                            .iter()
-                            .find(|(n, _)| n == k)
-                            .and_then(|(_, v)| v.parse::<u64>().ok())
-                    };
-                    if let (Some(generation), Some(tag)) = (get("x-late-gen"), get("x-late-tag")) {
-                        if tag != BEACON_TAG {
-                            if generation == self.visit_gen {
-                                if let Some(load) = self.load.as_mut() {
-                                    load.note_first_byte(ObjectId(tag as u32), self.now);
-                                }
-                            }
-                            self.spdy_clients[sidx]
-                                .streams
-                                .insert(stream_id, (generation, tag, true));
-                        }
-                    }
-                }
-                SpdyEvent::Ping(_) | SpdyEvent::Reset { .. } | SpdyEvent::Goaway => {}
+            PipeRole::Detached => {
+                self.world.put_role(idx, PipeRole::Detached);
             }
         }
-        // consume() may have queued WINDOW_UPDATEs on the client session.
-        self.pump_spdy_client_wire(sidx);
-        self.mark_dirty(pipe);
+        // Completion may unblock new requests / the next pending fetch.
+        self.world.issue_next_origin_fetch(idx);
         self.assign_ready_objects();
-        self.reschedule_browser_timer();
+        self.visits.reschedule_browser_timer(&mut self.world);
     }
 
-    fn spdy_stream_done(&mut self, sidx: usize, stream_id: u32) {
-        let Some((generation, tag, _)) = self.spdy_clients[sidx].streams.remove(&stream_id) else {
+    fn read_origin_bytes(&mut self, role: &mut PipeRole, data: Bytes) {
+        let PipeRole::Origin {
+            http,
+            current,
+            got_first_byte,
+            ..
+        } = role
+        else {
             return;
         };
-        if let Some((owner, fetch)) = self.late_stream_fetch.remove(&(sidx, stream_id)) {
-            self.spdy_proxies[owner].on_client_received(fetch, self.now);
-        } else if let Some(fetch) = self.spdy_proxies[sidx].fetch_for_stream(stream_id) {
-            self.spdy_proxies[sidx].on_client_received(fetch, self.now);
-        }
-        if generation == self.visit_gen && tag != BEACON_TAG {
-            if let Some(load) = self.load.as_mut() {
-                load.note_complete(ObjectId(tag as u32), self.now);
+        if let Some(fetch) = *current {
+            if !*got_first_byte && !data.is_empty() {
+                *got_first_byte = true;
+                with_side!(self, side, ctx, side.on_fetch_first_byte(&mut ctx, fetch));
             }
+        }
+        let done = http.on_bytes(&data).unwrap_or_default();
+        for (tag, resp) in done {
+            *current = None;
+            *got_first_byte = false;
+            with_side!(
+                self,
+                side,
+                ctx,
+                side.on_fetch_complete(&mut ctx, FetchId(tag), resp)
+            );
+            self.pump_session();
         }
     }
 
-    // ------------------------------------------------------------------
-    // b-side reads (proxy for access pipes; origin server for wired pipes)
-    // ------------------------------------------------------------------
+    // ----- b-side reads (proxy for access pipes; origin server for wired pipes) -----
 
     fn handle_b_read(&mut self, idx: usize, data: Bytes) {
-        let mut role = self.take_role(idx);
-        match &mut role {
-            PipeRole::HttpClient { .. } => {
-                self.http_proxy
-                    .on_client_bytes(ClientConnId(idx as u64), &data, self.now);
-                self.put_role(idx, role);
-                self.pump_http_proxy_outputs();
-                return;
+        match self.world.take_role(idx) {
+            role @ PipeRole::HttpClient { .. } => {
+                self.world.put_role(idx, role);
+                if let Side::Http(http) = &mut self.side {
+                    http.proxy
+                        .on_client_bytes(ClientConnId(idx as u64), &data, self.world.now);
+                }
+                self.pump_session();
             }
             PipeRole::SpdyClient { idx: sidx } => {
-                let sidx = *sidx;
-                self.put_role(idx, role);
-                self.spdy_proxies[sidx].on_client_bytes(&data, self.now);
-                self.pump_spdy_proxy(sidx);
-                return;
+                self.world.put_role(idx, PipeRole::SpdyClient { idx: sidx });
+                if let Side::Spdy(spdy) = &mut self.side {
+                    spdy.on_client_bytes(sidx, &data, self.world.now);
+                }
+                self.pump_session();
             }
-            PipeRole::Origin { server, .. } => {
-                let requests = server.on_bytes(&data).unwrap_or_default();
-                self.put_role(idx, role);
+            mut role @ PipeRole::Origin { .. } => {
+                let mut requests = Vec::new();
+                if let PipeRole::Origin { server, .. } = &mut role {
+                    requests = server.on_bytes(&data).unwrap_or_default();
+                }
+                self.world.put_role(idx, role);
                 for req in requests {
-                    let (latency, resp) = self.origin.handle(&req, &mut self.rng_origin);
-                    self.queue.schedule(
-                        self.now + latency,
+                    let (latency, resp) = self.origin.handle(&req, &mut self.world.rng_origin);
+                    self.world.queue.schedule(
+                        self.world.now + latency,
                         Event::OriginReply {
                             pipe: idx,
                             bytes: resp.encode(),
                         },
                     );
                 }
+            }
+            PipeRole::Detached => {
+                self.world.put_role(idx, PipeRole::Detached);
+            }
+        }
+    }
+
+    // ----- Session action pumping -----
+
+    /// Drain the side's pending actions and execute them in order, until
+    /// quiescent.
+    fn pump_session(&mut self) {
+        loop {
+            let actions = with_side!(self, side, ctx, side.poll_actions(&mut ctx));
+            if actions.is_empty() {
                 return;
             }
-            PipeRole::Detached => {}
-        }
-        self.put_role(idx, role);
-    }
-
-    // ------------------------------------------------------------------
-    // Proxy output pumping
-    // ------------------------------------------------------------------
-
-    fn pump_http_proxy_outputs(&mut self) {
-        while let Some(out) = self.http_proxy.poll_output() {
-            match out {
-                HttpProxyOutput::Fetch { fetch, request } => {
-                    self.dispatch_fetch(FetchOwner::Http, fetch, request);
-                }
-                HttpProxyOutput::ToClient { conn, bytes, fetch } => {
-                    let idx = conn.0 as usize;
-                    if idx < self.pipes.len() && !self.pipes[idx].closed {
-                        if let PipeRole::HttpClient { fetch_queue, .. } = &mut self.pipes[idx].role
-                        {
-                            fetch_queue.push_back(fetch);
-                        }
-                        self.pipes[idx].out_b.push_back(bytes);
-                        self.mark_dirty(idx);
+            for action in actions {
+                match action {
+                    SessionAction::OriginFetch { fetch, request } => {
+                        self.world.dispatch_fetch(&mut self.result, fetch, request);
                     }
-                }
-            }
-        }
-    }
-
-    fn pump_spdy_proxy(&mut self, sidx: usize) {
-        while let Some(out) = self.spdy_proxies[sidx].poll_output() {
-            match out {
-                SpdyProxyOutput::Fetch { fetch, request } => {
-                    self.spdy_fetch_owner.insert(fetch, sidx);
-                    if let Some(stream) = self.spdy_proxies[sidx].stream_of(fetch) {
-                        if let Some(&(generation, tag, _)) =
-                            self.spdy_clients[sidx].streams.get(&stream)
-                        {
-                            self.spdy_fetch_tag.insert(fetch, (generation, tag));
+                    SessionAction::ClientBytes { pipe, bytes, fetch } => {
+                        if pipe < self.world.pipes.len() && !self.world.pipes[pipe].closed {
+                            if let PipeRole::HttpClient { fetch_queue, .. } =
+                                &mut self.world.pipes[pipe].role
+                            {
+                                fetch_queue.push_back(fetch);
+                            }
+                            self.world.pipes[pipe].out_b.push_back(bytes);
+                            self.world.mark_dirty(pipe);
                         }
                     }
-                    self.dispatch_fetch(FetchOwner::Spdy(sidx), fetch, request);
-                }
-            }
-        }
-        self.pump_spdy_proxy_wire(sidx);
-    }
-
-    /// Move SPDY proxy wire bytes into the pipe's staging queue while the
-    /// staging queue is shallow — keeping priority decisions late.
-    fn pump_spdy_proxy_wire(&mut self, sidx: usize) {
-        let pipe = self.spdy_clients[sidx].pipe;
-        if self.pipes[pipe].closed {
-            return;
-        }
-        let mut staged: usize = self.pipes[pipe].out_b.iter().map(|b| b.len()).sum();
-        let space = self.pipes[pipe].b.send_space() as usize;
-        while staged < space.max(8 * 1024) {
-            match self.spdy_proxies[sidx].poll_wire() {
-                Some(wire) => {
-                    staged += wire.len();
-                    self.pipes[pipe].out_b.push_back(wire);
-                }
-                None => break,
-            }
-        }
-        self.mark_dirty(pipe);
-    }
-
-    fn pump_spdy_client_wire(&mut self, sidx: usize) {
-        let pipe = self.spdy_clients[sidx].pipe;
-        if self.pipes[pipe].closed || !self.spdy_clients[sidx].usable {
-            return;
-        }
-        while let Some(wire) = self.spdy_clients[sidx].session.poll_wire() {
-            self.pipes[pipe].out_a.push_back(wire);
-        }
-        self.mark_dirty(pipe);
-    }
-
-    // ------------------------------------------------------------------
-    // Origin fetch dispatch
-    // ------------------------------------------------------------------
-
-    fn dispatch_fetch(&mut self, owner: FetchOwner, fetch: FetchId, request: Request) {
-        let _ = owner; // ownership resolved at completion via maps
-        let domain = request.host.clone();
-        // Prefer an idle established origin pipe to this domain.
-        let mut idle: Option<usize> = None;
-        let mut count = 0usize;
-        let mut least_loaded: Option<(usize, usize)> = None;
-        for (i, p) in self.pipes.iter().enumerate() {
-            if p.closed {
-                continue;
-            }
-            if let PipeRole::Origin {
-                domain: d,
-                current,
-                pending,
-                ..
-            } = &p.role
-            {
-                if *d == domain {
-                    count += 1;
-                    let backlog = pending.len() + usize::from(current.is_some());
-                    if backlog == 0 && idle.is_none() {
-                        idle = Some(i);
-                    }
-                    if least_loaded.is_none_or(|(_, b)| backlog < b) {
-                        least_loaded = Some((i, backlog));
-                    }
-                }
-            }
-        }
-        let target = if let Some(i) = idle {
-            i
-        } else if count < 6 {
-            self.new_pipe(
-                false,
-                PipeRole::Origin {
-                    domain: domain.clone(),
-                    http: HttpClientConn::new(),
-                    server: HttpServerConn::new(),
-                    current: None,
-                    pending: VecDeque::new(),
-                    got_first_byte: false,
-                },
-                format!("origin-{domain}"),
-            )
-        } else {
-            least_loaded
-                .expect("count >= 6 implies at least one pipe")
-                .0
-        };
-        if let PipeRole::Origin { pending, .. } = &mut self.pipes[target].role {
-            pending.push_back((fetch, request));
-        }
-        self.issue_next_origin_fetch(target);
-        self.mark_dirty(target);
-    }
-
-    /// If the origin pipe is established and idle, issue its next pending
-    /// fetch request.
-    fn issue_next_origin_fetch(&mut self, idx: usize) {
-        let established = self.pipes[idx].a.is_established();
-        if !established {
-            return;
-        }
-        let mut to_write: Option<Bytes> = None;
-        if let PipeRole::Origin {
-            http,
-            current,
-            pending,
-            got_first_byte,
-            ..
-        } = &mut self.pipes[idx].role
-        {
-            if current.is_none() {
-                if let Some((fetch, request)) = pending.pop_front() {
-                    *current = Some(fetch);
-                    *got_first_byte = false;
-                    to_write = Some(http.send_request(fetch.0, &request));
-                }
-            }
-        }
-        if let Some(bytes) = to_write {
-            self.pipes[idx].out_a.push_back(bytes);
-            self.mark_dirty(idx);
-        }
-    }
-
-    fn on_fetch_first_byte(&mut self, fetch: FetchId) {
-        if let Some(&sidx) = self.spdy_fetch_owner.get(&fetch) {
-            self.spdy_proxies[sidx].on_fetch_first_byte(fetch, self.now);
-        } else {
-            self.http_proxy.on_fetch_first_byte(fetch, self.now);
-        }
-    }
-
-    fn on_fetch_complete(&mut self, fetch: FetchId, resp: spdyier_http::Response) {
-        let Some(&sidx) = self.spdy_fetch_owner.get(&fetch) else {
-            self.http_proxy.on_fetch_complete(fetch, resp, self.now);
-            self.pump_http_proxy_outputs();
-            return;
-        };
-        let late = matches!(
-            self.cfg.protocol,
-            ProtocolMode::Spdy {
-                late_binding: true,
-                ..
-            }
-        );
-        if !late {
-            self.spdy_proxies[sidx].on_fetch_complete(fetch, resp, self.now);
-            self.pump_spdy_proxy_wire(sidx);
-            return;
-        }
-        // §6.1 late binding: deliver on whichever session's connection can
-        // transmit soonest (least send backlog), on a tagged
-        // server-initiated stream.
-        self.spdy_proxies[sidx].stamp_complete(fetch, self.now);
-        let best = (0..self.spdy_clients.len())
-            .filter(|&s| self.spdy_clients[s].usable)
-            .min_by_key(|&s| {
-                let pipe = self.spdy_clients[s].pipe;
-                let staged: u64 = self.pipes[pipe].out_b.iter().map(|b| b.len() as u64).sum();
-                self.pipes[pipe].b.send_queue_len()
-                    + self.pipes[pipe].b.bytes_in_flight()
-                    + staged
-                    + self.spdy_proxies[s].session().pending_bytes()
-            })
-            .unwrap_or(sidx);
-        let (generation, tag) = self
-            .spdy_fetch_tag
-            .get(&fetch)
-            .copied()
-            .unwrap_or((0, BEACON_TAG));
-        let headers = vec![
-            (":status".to_string(), resp.status.to_string()),
-            ("x-late-gen".to_string(), generation.to_string()),
-            ("x-late-tag".to_string(), tag.to_string()),
-        ];
-        let stream = self.spdy_proxies[best].push_with_headers(headers, resp.body, 2);
-        self.late_stream_fetch.insert((best, stream), (sidx, fetch));
-        self.pump_spdy_proxy_wire(best);
-    }
-
-    // ------------------------------------------------------------------
-    // Staged writes, transmission, timers
-    // ------------------------------------------------------------------
-
-    fn flush_staged(&mut self, idx: usize) {
-        // a side
-        loop {
-            let space = self.pipes[idx].a.send_space();
-            if space == 0 {
-                break;
-            }
-            let Some(mut front) = self.pipes[idx].out_a.pop_front() else {
-                break;
-            };
-            if front.len() as u64 <= space {
-                self.pipes[idx].a.write(front);
-            } else {
-                let part = front.split_to(space as usize);
-                self.pipes[idx].a.write(part);
-                self.pipes[idx].out_a.push_front(front);
-            }
-        }
-        // b side
-        loop {
-            let space = self.pipes[idx].b.send_space();
-            if space == 0 {
-                break;
-            }
-            let Some(mut front) = self.pipes[idx].out_b.pop_front() else {
-                // Refill from the SPDY proxy scheduler if applicable.
-                if let PipeRole::SpdyClient { idx: sidx } = self.pipes[idx].role {
-                    if let Some(wire) = self.spdy_proxies[sidx].poll_wire() {
-                        self.pipes[idx].out_b.push_back(wire);
-                        continue;
-                    }
-                }
-                break;
-            };
-            if front.len() as u64 <= space {
-                self.pipes[idx].b.write(front);
-            } else {
-                let part = front.split_to(space as usize);
-                self.pipes[idx].b.write(part);
-                self.pipes[idx].out_b.push_front(front);
-            }
-        }
-    }
-
-    fn drain_tx(&mut self, idx: usize) {
-        for b_side in [false, true] {
-            loop {
-                let seg = {
-                    let conn = if b_side {
-                        &mut self.pipes[idx].b
-                    } else {
-                        &mut self.pipes[idx].a
-                    };
-                    conn.poll_transmit(self.now)
-                };
-                let Some(seg) = seg else { break };
-                let over_access = self.pipes[idx].over_access;
-                // Record retransmissions on the access path (the paper's
-                // tcpdump vantage point). Pure-FIN retransmissions from
-                // idle-socket teardown are tracked in per-connection stats
-                // but excluded from the headline series: connection
-                // teardown is not on any measured path.
-                if over_access && seg.retransmit && (!seg.payload.is_empty() || seg.flags.syn) {
-                    self.result.retransmissions.mark(self.now);
-                }
-                let dir = match (over_access, b_side) {
-                    // access: a = device (sends Up), b = proxy (sends Down)
-                    (true, false) => Direction::Up,
-                    (true, true) => Direction::Down,
-                    // wired: a = proxy, b = origin; direction naming is
-                    // arbitrary on the symmetric wired path.
-                    (false, false) => Direction::Up,
-                    (false, true) => Direction::Down,
-                };
-                let verdict = if over_access {
-                    self.access
-                        .send(dir, self.now, seg.wire_size(), &mut self.rng_net)
-                } else {
-                    self.wired
-                        .send(dir, self.now, seg.wire_size(), &mut self.rng_net)
-                };
-                match verdict {
-                    LinkVerdict::Deliver(at) => {
-                        self.queue.schedule(
-                            at,
-                            Event::Deliver {
-                                pipe: idx,
-                                to_b: !b_side,
-                                seg,
-                            },
-                        );
-                    }
-                    LinkVerdict::Drop => {
-                        // The packet evaporates; TCP recovery handles it.
+                    SessionAction::PumpProxyWire { session } => {
+                        if let Side::Spdy(spdy) = &mut self.side {
+                            spdy.pump_proxy_wire(&mut self.world, session);
+                        }
                     }
                 }
             }
         }
     }
 
-    fn resched_timers(&mut self, idx: usize) {
-        for b_side in [false, true] {
-            let next = if b_side {
-                self.pipes[idx].b.next_timer()
-            } else {
-                self.pipes[idx].a.next_timer()
-            };
-            let slot = if b_side {
-                &mut self.pipes[idx].b_timer
-            } else {
-                &mut self.pipes[idx].a_timer
-            };
-            if let Some(old) = slot.take() {
-                self.queue.cancel(old);
-            }
-            if let Some(at) = next {
-                let id = self
-                    .queue
-                    .schedule(at.max(self.now), Event::Timer { pipe: idx, b_side });
-                *slot = Some(id);
-            }
-        }
-    }
-
-    fn flush_pending_requests(&mut self, idx: usize) {
-        if !self.pipes[idx].a.is_established() {
-            return;
-        }
-        let mut issued_any = false;
-        loop {
-            let mut issue: Option<(u64, u64)> = None;
-            if let PipeRole::HttpClient { http, pending, .. } = &mut self.pipes[idx].role {
-                if http.can_send() {
-                    if let Some(next) = pending.pop_front() {
-                        issue = Some(next);
-                    }
-                }
-            }
-            let Some((generation, tag)) = issue else {
-                break;
-            };
-            let request = self.request_for(generation, tag);
-            if let Some(request) = request {
-                let tagged = (generation << 32) | (tag & 0xFFFF_FFFF);
-                let mut wire = None;
-                if let PipeRole::HttpClient {
-                    http,
-                    outstanding,
-                    got_first_byte,
-                    last_use,
-                    ..
-                } = &mut self.pipes[idx].role
-                {
-                    if outstanding.is_empty() {
-                        *got_first_byte = false;
-                    }
-                    outstanding.push_back((generation, tag));
-                    *last_use = self.now;
-                    wire = Some(http.send_request(tagged, &request));
-                }
-                if let Some(bytes) = wire {
-                    self.pipes[idx].out_a.push_back(bytes);
-                }
-                if generation == self.visit_gen && tag != BEACON_TAG {
-                    if let Some(load) = self.load.as_mut() {
-                        load.note_requested(ObjectId(tag as u32), self.now);
-                    }
-                }
-                issued_any = true;
-            } else {
-                // Stale request from an abandoned visit: skip it; release
-                // the pool slot if nothing is in flight.
-                let mut release: Option<PoolConnId> = None;
-                if let PipeRole::HttpClient {
-                    outstanding,
-                    pool_id,
-                    ..
-                } = &self.pipes[idx].role
-                {
-                    if outstanding.is_empty() {
-                        release = Some(*pool_id);
-                    }
-                }
-                if let Some(pid) = release {
-                    self.pool.release(pid);
-                }
-            }
-        }
-        if issued_any {
-            self.mark_dirty(idx);
-            // A completed handshake may unblock throttled opens.
-            self.assign_ready_objects();
-        }
-        self.issue_next_origin_fetch(idx);
-    }
-
-    /// The standard header set a 2013 Chrome sends with every request.
-    /// HTTP pays these bytes on the uplink per request; SPDY's stateful
-    /// header compression collapses the repetition — one of its documented
-    /// advantages.
-    fn browser_headers(&self, host: &str) -> Vec<(String, String)> {
-        let mut cookie = String::with_capacity(192);
-        cookie.push_str("sid=");
-        let h = host
-            .as_bytes()
-            .iter()
-            .fold(0u64, |a, &b| a.wrapping_mul(131).wrapping_add(b as u64));
-        for i in 0..10u64 {
-            cookie.push_str(&format!(
-                "{:016x}",
-                h.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15))
-            ));
-        }
-        vec![
-            (
-                "user-agent".to_string(),
-                "Mozilla/5.0 (Windows NT 6.1) AppleWebKit/537.11 (KHTML, like Gecko) Chrome/23.0.1271.97 Safari/537.11".to_string(),
-            ),
-            (
-                "accept".to_string(),
-                "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8".to_string(),
-            ),
-            ("accept-encoding".to_string(), "gzip,deflate,sdch".to_string()),
-            ("accept-language".to_string(), "en-US,en;q=0.8".to_string()),
-            ("cookie".to_string(), cookie),
-        ]
-    }
-
-    fn request_for(&self, generation: u64, tag: u64) -> Option<Request> {
-        let (host, path) = if tag == BEACON_TAG {
-            (self.beacon_domain.clone()?, "/beacon.gif".to_string())
-        } else {
-            if generation != self.visit_gen {
-                return None;
-            }
-            let page = self.current_page.as_ref()?;
-            let obj = page.objects.get(tag as usize)?;
-            (obj.domain.clone(), obj.path.clone())
-        };
-        let mut req = Request::get(host.clone(), path);
-        req.headers = self.browser_headers(&host);
-        Some(req)
-    }
-
-    fn detect_ssl_ready(&mut self, idx: usize) {
-        if let PipeRole::SpdyClient { idx: sidx } = self.pipes[idx].role {
-            if !self.spdy_clients[sidx].usable
-                && self.pipes[idx].a.is_established()
-                && !self.queue_has_ssl_ready(idx)
-            {
-                let delay = self
-                    .access
-                    .base_rtt()
-                    .saturating_mul(u64::from(self.cfg.ssl_setup_rtts));
-                self.queue
-                    .schedule(self.now + delay, Event::SslReady { pipe: idx });
-                // Mark so we only schedule once: use `usable` tri-state via
-                // a sentinel — simplest is a dedicated flag:
-                self.spdy_clients[sidx].ssl_scheduled = true;
-            }
-        }
-    }
-
-    fn queue_has_ssl_ready(&self, idx: usize) -> bool {
-        if let PipeRole::SpdyClient { idx: sidx } = self.pipes[idx].role {
-            self.spdy_clients[sidx].ssl_scheduled
-        } else {
-            false
-        }
-    }
-
-    fn handle_close_handshake(&mut self, idx: usize) {
-        let retired = matches!(
-            self.pipes[idx].role,
-            PipeRole::HttpClient { retired: true, .. }
-        );
-        if retired && self.pipes[idx].b.peer_closed() {
-            self.pipes[idx].b.close(self.now);
-            self.http_proxy.on_client_closed(ClientConnId(idx as u64));
-        }
-    }
-
-    fn maybe_mark_closed(&mut self, idx: usize) {
-        use spdyier_tcp::TcpState;
-        let a_done = matches!(
-            self.pipes[idx].a.state(),
-            TcpState::Closed | TcpState::TimeWait
-        );
-        let b_done = matches!(
-            self.pipes[idx].b.state(),
-            TcpState::Closed | TcpState::TimeWait
-        );
-        if a_done && b_done && !self.pipes[idx].closed {
-            self.harvest_pipe(idx);
-        }
-    }
-
-    fn harvest_pipe(&mut self, idx: usize) {
-        if self.pipes[idx].closed {
-            return;
-        }
-        self.pipes[idx].closed = true;
-        if let Some(t) = self.pipes[idx].a_timer.take() {
-            self.queue.cancel(t);
-        }
-        if let Some(t) = self.pipes[idx].b_timer.take() {
-            self.queue.cancel(t);
-        }
-        if self.cfg.cache_metrics {
-            let over = self.pipes[idx].over_access;
-            let role_keys = {
-                let role = &self.pipes[idx].role;
-                self.cache_keys(over, role)
-            };
-            if let Some(m) = self.pipes[idx].a.snapshot_metrics() {
-                self.metrics_cache.store(&role_keys.0, m);
-            }
-            if let Some(m) = self.pipes[idx].b.snapshot_metrics() {
-                self.metrics_cache.store(&role_keys.1, m);
-            }
-        }
-    }
-
-    // ==================================================================
-    // Browser-side request assignment
-    // ==================================================================
+    // ----- Browser-side request assignment -----
 
     fn assign_ready_objects(&mut self) {
         if self.assigning {
             return;
         }
-        let Some(load) = self.load.as_ref() else {
+        let Some(load) = self.visits.load.as_ref() else {
             return;
         };
         if load.is_complete() {
@@ -1192,579 +374,163 @@ impl Testbed {
             return;
         }
         self.assigning = true;
-        match self.cfg.protocol {
-            ProtocolMode::Http => self.assign_ready_http(ready),
-            ProtocolMode::Spdy { .. } => self.assign_ready_spdy(ready),
-        }
+        with_side!(self, side, ctx, side.assign_ready(&mut ctx, ready));
         self.assigning = false;
     }
 
-    fn assign_ready_http(&mut self, ready: Vec<ObjectId>) {
-        // Chrome throttles concurrent connection attempts; without this a
-        // discovery wave would fire 30+ simultaneous handshakes and
-        // synchronized slow-starts into the access queue.
-        let mut connecting = self
-            .pipes
-            .iter()
-            .filter(|p| {
-                !p.closed
-                    && p.over_access
-                    && matches!(p.role, PipeRole::HttpClient { .. })
-                    && !p.a.is_established()
-            })
-            .count();
-        for obj in ready {
-            let domain = {
-                let Some(page) = self.current_page.as_ref() else {
-                    return;
-                };
-                page.object(obj).domain.clone()
-            };
-            // With pipelining enabled, stack further requests onto a
-            // connection to this domain that still has pipeline slots.
-            if self.cfg.http_pipelining > 1 {
-                let depth = self.cfg.http_pipelining;
-                let slot = self.pipes.iter().position(|p| {
-                    !p.closed
-                        && matches!(&p.role,
-                            PipeRole::HttpClient { outstanding, pending, retired: false, .. }
-                                if outstanding.len() + pending.len() < depth
-                                    && (!outstanding.is_empty() || !pending.is_empty()))
-                        && self.pool.domain_of(match &p.role {
-                            PipeRole::HttpClient { pool_id, .. } => *pool_id,
-                            _ => unreachable!(),
-                        }) == Some(domain.as_str())
-                });
-                if let Some(pipe) = slot {
-                    if let Some(load) = self.load.as_mut() {
-                        load.take_ready(obj);
-                    }
-                    if let PipeRole::HttpClient { pending, .. } = &mut self.pipes[pipe].role {
-                        pending.push_back((self.visit_gen, u64::from(obj.0)));
-                    }
-                    self.flush_pending_requests(pipe);
-                    self.mark_dirty(pipe);
-                    continue;
-                }
-            }
-            loop {
-                match self.pool.acquire(&domain) {
-                    Acquire::Reuse(pid) => {
-                        let Some(pipe) = self.pipe_for_pool(pid) else {
-                            self.pool.remove(pid);
-                            continue;
-                        };
-                        if let Some(load) = self.load.as_mut() {
-                            load.take_ready(obj);
-                        }
-                        if let PipeRole::HttpClient { pending, .. } = &mut self.pipes[pipe].role {
-                            pending.push_back((self.visit_gen, u64::from(obj.0)));
-                        }
-                        self.flush_pending_requests(pipe);
-                        self.mark_dirty(pipe);
-                        break;
-                    }
-                    Acquire::Open(pid) => {
-                        if connecting >= 8 {
-                            // Throttled: release the slot and retry when a
-                            // handshake completes.
-                            self.pool.remove(pid);
-                            break;
-                        }
-                        connecting += 1;
-                        if let Some(load) = self.load.as_mut() {
-                            load.take_ready(obj);
-                        }
-                        let generation = self.visit_gen;
-                        let pipe = self.new_pipe(
-                            true,
-                            PipeRole::HttpClient {
-                                pool_id: pid,
-                                http: HttpClientConn::with_pipelining(self.cfg.http_pipelining),
-                                outstanding: VecDeque::new(),
-                                pending: VecDeque::from([(generation, u64::from(obj.0))]),
-                                got_first_byte: false,
-                                fetch_queue: VecDeque::new(),
-                                last_use: self.now,
-                                retired: false,
-                            },
-                            format!("http-{}", pid.0),
-                        );
-                        self.mark_dirty(pipe);
-                        break;
-                    }
-                    Acquire::Blocked => {
-                        if self.pool.at_global_cap() {
-                            if let Some(evicted) = self.pool.evict_idle() {
-                                if let Some(pipe) = self.pipe_for_pool(evicted) {
-                                    self.retire_http_pipe(pipe);
-                                }
-                                continue;
-                            }
-                        }
-                        break;
-                    }
-                }
-            }
-        }
-    }
-
-    fn pipe_for_pool(&self, pid: PoolConnId) -> Option<usize> {
-        self.pipes.iter().position(|p| {
-            !p.closed
-                && matches!(&p.role, PipeRole::HttpClient { pool_id, retired, .. }
-                    if *pool_id == pid && !retired)
-        })
-    }
-
-    fn retire_http_pipe(&mut self, idx: usize) {
-        if let PipeRole::HttpClient {
-            retired, pool_id, ..
-        } = &mut self.pipes[idx].role
-        {
-            if !*retired {
-                *retired = true;
-                let pid = *pool_id;
-                self.pool.remove(pid);
-            }
-        }
-        self.pipes[idx].a.close(self.now);
-        self.mark_dirty(idx);
-    }
-
-    fn assign_ready_spdy(&mut self, ready: Vec<ObjectId>) {
-        if self.spdy_clients.is_empty() {
-            return;
-        }
-        for obj in ready {
-            // Round-robin over usable sessions.
-            let n = self.spdy_clients.len();
-            let mut chosen = None;
-            for k in 0..n {
-                let s = (self.spdy_rr + k) % n;
-                if self.spdy_clients[s].usable {
-                    chosen = Some(s);
-                    break;
-                }
-            }
-            let Some(sidx) = chosen else {
-                return; // no session ready yet (SSL still setting up)
-            };
-            self.spdy_rr = (sidx + 1) % n;
-            let (domain, path, priority) = {
-                let Some(page) = self.current_page.as_ref() else {
-                    return;
-                };
-                let o = page.object(obj);
-                (o.domain.clone(), o.path.clone(), o.kind.spdy_priority())
-            };
-            let mut headers = vec![
-                (":method".to_string(), "GET".to_string()),
-                (":host".to_string(), domain.clone()),
-                (":path".to_string(), path),
-                (":scheme".to_string(), "https".to_string()),
-            ];
-            headers.extend(self.browser_headers(&domain));
-            let stream = self.spdy_clients[sidx]
-                .session
-                .open_stream(headers, priority, true);
-            self.spdy_clients[sidx]
-                .streams
-                .insert(stream, (self.visit_gen, u64::from(obj.0), false));
-            if let Some(load) = self.load.as_mut() {
-                load.note_requested(obj, self.now);
-            }
-            self.pump_spdy_client_wire(sidx);
-        }
-    }
-
-    fn open_spdy_session(&mut self) {
-        let sidx = self.spdy_clients.len();
-        let pipe = self.new_pipe(
-            true,
-            PipeRole::SpdyClient { idx: sidx },
-            format!("spdy-{sidx}"),
-        );
-        self.spdy_clients.push(SpdyClientState {
-            session: SpdySession::new(Role::Client, SpdyConfig::default()),
-            pipe,
-            usable: false,
-            streams: HashMap::new(),
-            ssl_scheduled: false,
-        });
-        // Distinct fetch-id spaces per session (shared owner map).
-        self.spdy_proxies.push(SpdyProxyCore::with_fetch_offset(
-            SpdyConfig::default(),
-            sidx as u64 * 1_000_000,
-        ));
-        self.mark_dirty(pipe);
-        self.service_all();
-    }
-
-    // ==================================================================
-    // Browser/visit lifecycle
-    // ==================================================================
-
-    fn reschedule_browser_timer(&mut self) {
-        if let Some(old) = self.browser_timer.take() {
-            self.queue.cancel(old);
-        }
-        if let Some(load) = self.load.as_ref() {
-            if let Some(at) = load.next_timer() {
-                let id = self.queue.schedule(at.max(self.now), Event::BrowserTimer);
-                self.browser_timer = Some(id);
-            }
-        }
-    }
+    // ----- Visit lifecycle and sampling -----
 
     fn check_visit_complete(&mut self) {
-        let complete = self.load.as_ref().is_some_and(|l| l.is_complete());
-        if complete {
-            self.finish_visit(true);
+        if self.visits.load_complete() {
+            self.visits
+                .finish_visit(&mut self.world, &self.cfg, &mut self.result, true);
         }
     }
-
-    fn finish_visit(&mut self, completed: bool) {
-        let Some(load) = self.load.take() else {
-            return;
-        };
-        let Some(visit) = self.current_visit.take() else {
-            return;
-        };
-        if let Some(old) = self.browser_timer.take() {
-            self.queue.cancel(old);
-        }
-        let site = self.cfg.schedule.order[visit];
-        let start = load.start_time();
-        let onload = load.onload_time();
-        let plt_ms = match onload {
-            Some(t) => t.saturating_since(start).as_secs_f64() * 1e3,
-            None => self.now.saturating_since(start).as_secs_f64() * 1e3,
-        };
-        let page = load.page();
-        self.result.visits.push(VisitResult {
-            site,
-            start,
-            onload,
-            plt_ms,
-            completed: completed && onload.is_some(),
-            object_timings: load.timings().to_vec(),
-            object_count: page.object_count(),
-            total_bytes: page.total_bytes(),
-        });
-        self.beacon_domain = Some(page.root().domain.clone());
-        self.beacons_fired = 0;
-        if let Some(beacon) = self.cfg.beacon {
-            if beacon.max_per_visit > 0 {
-                self.queue
-                    .schedule(self.now + beacon.interval, Event::Beacon);
-            }
-        }
-    }
-
-    fn start_visit(&mut self, visit: usize) {
-        // Abandon any incomplete previous visit.
-        if self.load.is_some() {
-            self.finish_visit(false);
-        }
-        self.visit_gen += 1;
-        self.current_visit = Some(visit);
-        let site = self.cfg.schedule.order[visit];
-        let next = self
-            .cfg
-            .schedule
-            .visits()
-            .nth(visit + 1)
-            .map(|(t, _)| t)
-            .unwrap_or(self.cfg.schedule.horizon());
-        self.next_visit_start = next;
-        let page = match &self.cfg.pages {
-            PageSource::Table1 => {
-                let spec = SiteSpec::by_index(site).expect("schedule indices are valid");
-                let mut rng = self
-                    .rng_pages
-                    .fork_indexed("page", (u64::from(site) << 16) | self.visit_gen);
-                synthesize(spec, &mut rng)
-            }
-            PageSource::Custom(pages) => pages
-                .get((site as usize).saturating_sub(1))
-                .expect("schedule index within custom pages")
-                .clone(),
-        };
-        self.origin.register_page(&page);
-        self.current_page = Some(page.clone());
-        self.load = Some(PageLoad::new(page, self.now));
-        self.queue.schedule(
-            self.now + self.cfg.visit_timeout,
-            Event::VisitDeadline {
-                visit,
-                generation: self.visit_gen,
-            },
-        );
-        self.assign_ready_objects();
-        self.reschedule_browser_timer();
-        self.service_all();
-    }
-
-    fn issue_beacon(&mut self) {
-        let Some(domain) = self.beacon_domain.clone() else {
-            return;
-        };
-        match self.cfg.protocol {
-            ProtocolMode::Http => match self.pool.acquire(&domain) {
-                Acquire::Reuse(pid) => {
-                    if let Some(pipe) = self.pipe_for_pool(pid) {
-                        if let PipeRole::HttpClient { pending, .. } = &mut self.pipes[pipe].role {
-                            pending.push_back((self.visit_gen, BEACON_TAG));
-                        }
-                        self.flush_pending_requests(pipe);
-                        self.mark_dirty(pipe);
-                    } else {
-                        self.pool.remove(pid);
-                    }
-                }
-                Acquire::Open(pid) => {
-                    let generation = self.visit_gen;
-                    self.new_pipe(
-                        true,
-                        PipeRole::HttpClient {
-                            pool_id: pid,
-                            http: HttpClientConn::with_pipelining(self.cfg.http_pipelining),
-                            outstanding: VecDeque::new(),
-                            pending: VecDeque::from([(generation, BEACON_TAG)]),
-                            got_first_byte: false,
-                            fetch_queue: VecDeque::new(),
-                            last_use: self.now,
-                            retired: false,
-                        },
-                        format!("http-{}", pid.0),
-                    );
-                }
-                Acquire::Blocked => {}
-            },
-            ProtocolMode::Spdy { .. } => {
-                if let Some(sidx) =
-                    (0..self.spdy_clients.len()).find(|&s| self.spdy_clients[s].usable)
-                {
-                    let mut headers = vec![
-                        (":method".to_string(), "GET".to_string()),
-                        (":host".to_string(), domain.clone()),
-                        (":path".to_string(), "/beacon.gif".to_string()),
-                    ];
-                    headers.extend(self.browser_headers(&domain));
-                    let stream = self.spdy_clients[sidx]
-                        .session
-                        .open_stream(headers, 4, true);
-                    self.spdy_clients[sidx]
-                        .streams
-                        .insert(stream, (self.visit_gen, BEACON_TAG, false));
-                    self.pump_spdy_client_wire(sidx);
-                }
-            }
-        }
-    }
-
-    /// Server-initiated periodic data (§5.7): the proxy sends unsolicited
-    /// bytes (a completed long-poll, a refreshed ad) into what may be an
-    /// idle radio — the transfer pattern whose spurious timeouts collapse
-    /// the sender's window with no request to pre-pay the promotion.
-    fn push_beacon(&mut self) {
-        let Some(size) = self.cfg.beacon.map(|b| b.size) else {
-            return;
-        };
-        match self.cfg.protocol {
-            ProtocolMode::Spdy { .. } => {
-                if let Some(sidx) =
-                    (0..self.spdy_clients.len()).find(|&s| self.spdy_clients[s].usable)
-                {
-                    self.spdy_proxies[sidx]
-                        .push_data("/push/refresh", Bytes::from(vec![0u8; size as usize]));
-                    self.pump_spdy_proxy_wire(sidx);
-                }
-            }
-            ProtocolMode::Http => {
-                // A pending long-poll completes on one idle persistent
-                // connection; the client discards the unsolicited body.
-                let target = self.pipes.iter().position(|p| {
-                    !p.closed
-                        && p.b.is_established()
-                        && matches!(
-                            &p.role,
-                            PipeRole::HttpClient { outstanding, pending, retired: false, .. }
-                                if outstanding.is_empty() && pending.is_empty()
-                        )
-                });
-                if let Some(idx) = target {
-                    let resp = spdyier_http::Response::ok(Bytes::from(vec![0u8; size as usize]))
-                        .with_header("X-Pushed", "1");
-                    self.pipes[idx].out_b.push_back(resp.encode());
-                    self.mark_dirty(idx);
-                }
-            }
-        }
-    }
-
-    // ==================================================================
-    // Sampling
-    // ==================================================================
 
     fn sample_inflight(&mut self) {
-        let total: u64 = self
-            .pipes
-            .iter()
-            .filter(|p| p.over_access && !p.closed)
-            .map(|p| p.b.bytes_in_flight())
-            .sum();
-        let total = total as f64;
+        let total = self.world.inflight_total() as f64;
         if (total - self.last_inflight).abs() > f64::EPSILON {
             self.last_inflight = total;
-            self.result.inflight_bytes.push(self.now, total);
+            self.result.inflight_bytes.push(self.world.now, total);
         }
     }
 
-    // ==================================================================
-    // Event dispatch
-    // ==================================================================
+    // ----- Event dispatch -----
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Deliver { pipe, to_b, seg } => {
-                if self.pipes[pipe].closed {
+                if self.world.pipes[pipe].closed {
                     return;
                 }
-                if self.pipes[pipe].over_access && !to_b {
+                let now = self.world.now;
+                if self.world.pipes[pipe].over_access && !to_b && !seg.is_empty() {
                     // Downlink payload delivered to the device (Fig. 9).
-                    if !seg.is_empty() {
-                        self.result
-                            .client_downlink_bytes
-                            .push(self.now, seg.len() as f64);
-                    }
+                    self.result
+                        .client_downlink_bytes
+                        .push(now, seg.len() as f64);
                 }
-                if to_b {
-                    self.pipes[pipe].b.on_segment(self.now, seg);
-                } else {
-                    self.pipes[pipe].a.on_segment(self.now, seg);
-                }
-                self.mark_dirty(pipe);
+                let p = &mut self.world.pipes[pipe];
+                let conn = if to_b { &mut p.b } else { &mut p.a };
+                conn.on_segment(now, seg);
+                self.world.mark_dirty(pipe);
                 self.service_all();
             }
             Event::Timer { pipe, b_side } => {
-                if self.pipes[pipe].closed {
+                if self.world.pipes[pipe].closed {
                     return;
                 }
-                if b_side {
-                    self.pipes[pipe].b_timer = None;
-                    self.pipes[pipe].b.on_timer(self.now);
+                let now = self.world.now;
+                let p = &mut self.world.pipes[pipe];
+                let (conn, timer) = if b_side {
+                    (&mut p.b, &mut p.b_timer)
                 } else {
-                    self.pipes[pipe].a_timer = None;
-                    self.pipes[pipe].a.on_timer(self.now);
-                }
-                self.mark_dirty(pipe);
+                    (&mut p.a, &mut p.a_timer)
+                };
+                *timer = None;
+                conn.on_timer(now);
+                self.world.mark_dirty(pipe);
                 self.service_all();
             }
             Event::BrowserTimer => {
-                self.browser_timer = None;
-                if let Some(load) = self.load.as_mut() {
-                    load.on_timer(self.now);
+                self.visits.browser_timer = None;
+                if let Some(load) = self.visits.load.as_mut() {
+                    load.on_timer(self.world.now);
                 }
                 self.assign_ready_objects();
-                self.reschedule_browser_timer();
+                self.visits.reschedule_browser_timer(&mut self.world);
                 self.service_all();
             }
             Event::Visit(v) => {
-                self.start_visit(v);
+                {
+                    let Testbed {
+                        world,
+                        visits,
+                        result,
+                        cfg,
+                        origin,
+                        ..
+                    } = self;
+                    visits.start_visit(world, cfg, origin, result, v);
+                }
+                self.assign_ready_objects();
+                self.visits.reschedule_browser_timer(&mut self.world);
+                self.service_all();
             }
             Event::VisitDeadline { visit, generation } => {
-                if self.current_visit == Some(visit) && self.visit_gen == generation {
-                    self.finish_visit(false);
+                if self.visits.current_visit == Some(visit) && self.visits.visit_gen == generation {
+                    self.visits
+                        .finish_visit(&mut self.world, &self.cfg, &mut self.result, false);
                 }
             }
             Event::OriginReply { pipe, bytes } => {
-                if !self.pipes[pipe].closed {
-                    self.pipes[pipe].out_b.push_back(bytes);
-                    self.mark_dirty(pipe);
+                if !self.world.pipes[pipe].closed {
+                    self.world.pipes[pipe].out_b.push_back(bytes);
+                    self.world.mark_dirty(pipe);
                     self.service_all();
                 }
             }
             Event::SslReady { pipe } => {
-                if let PipeRole::SpdyClient { idx: sidx } = self.pipes[pipe].role {
-                    self.spdy_clients[sidx].usable = true;
-                    self.pump_spdy_client_wire(sidx);
+                if let PipeRole::SpdyClient { idx: sidx } = self.world.pipes[pipe].role {
+                    if let Side::Spdy(spdy) = &mut self.side {
+                        spdy.on_ssl_ready(&mut self.world, sidx);
+                    }
                     self.assign_ready_objects();
                     self.service_all();
                 }
             }
             Event::PingTick => {
                 // A device-side ping large enough to hold DCH (Fig. 14).
-                let _ = self
-                    .access
-                    .send(Direction::Up, self.now, 1380, &mut self.rng_net);
-                let _ = self
-                    .access
-                    .send(Direction::Down, self.now, 1380, &mut self.rng_net);
+                for dir in [Direction::Up, Direction::Down] {
+                    let _ =
+                        self.world
+                            .access
+                            .send(dir, self.world.now, 1380, &mut self.world.rng_net);
+                }
                 if let Some(interval) = self.cfg.keepalive_ping {
-                    self.queue.schedule(self.now + interval, Event::PingTick);
+                    self.world
+                        .queue
+                        .schedule(self.world.now + interval, Event::PingTick);
                 }
             }
             Event::Beacon => {
                 // Only between visits, and only while the run continues.
-                if self.load.is_none() && self.now < self.next_visit_start {
-                    self.issue_beacon();
-                    self.push_beacon();
-                    self.beacons_fired += 1;
-                    if let Some(beacon) = self.cfg.beacon {
-                        let next = if self.beacons_fired < beacon.max_per_visit {
-                            Some(self.now + beacon.interval)
-                        } else if self.beacons_fired == beacon.max_per_visit {
-                            beacon.late_gap.map(|g| self.now + g)
-                        } else {
-                            None
-                        };
-                        if let Some(next) = next {
-                            if next < self.next_visit_start {
-                                self.queue.schedule(next, Event::Beacon);
-                            }
-                        }
+                if self.visits.load.is_none() && self.world.now < self.visits.next_visit_start {
+                    let issued = with_side!(self, side, ctx, side.issue_beacon(&mut ctx));
+                    if issued {
+                        self.assign_ready_objects();
+                    }
+                    with_side!(self, side, ctx, side.push_beacon(&mut ctx));
+                    self.visits.beacons_fired += 1;
+                    if let Some(next) = self.visits.next_beacon_at(&self.cfg, self.world.now) {
+                        self.world.queue.schedule(next, Event::Beacon);
                     }
                     self.service_all();
                 }
             }
             Event::IdleSweep => {
                 if let Some(max_idle) = self.cfg.http_idle_close {
-                    let cutoff = self.now.saturating_since(SimTime::ZERO);
-                    let _ = cutoff;
-                    let stale: Vec<usize> = self
-                        .pipes
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, p)| {
-                            !p.closed
-                                && matches!(
-                                    &p.role,
-                                    PipeRole::HttpClient {
-                                        outstanding,
-                                        pending,
-                                        retired: false,
-                                        last_use,
-                                        ..
-                                    } if outstanding.is_empty()
-                                        && pending.is_empty()
-                                        && self.now.saturating_since(*last_use) >= max_idle
-                                )
-                        })
-                        .map(|(i, _)| i)
-                        .collect();
-                    for i in stale {
-                        self.retire_http_pipe(i);
+                    // next_timeout gates the sweep: scan only when some
+                    // pipe's idle deadline has actually passed.
+                    let due = with_side!(self, side, ctx, {
+                        let now = ctx.world.now;
+                        side.next_timeout(&ctx).is_some_and(|t| t <= now)
+                    });
+                    if due {
+                        if let Side::Http(http) = &mut self.side {
+                            http.idle_sweep(&mut self.world, max_idle);
+                        }
                     }
-                    self.queue
-                        .schedule(self.now + SimDuration::from_secs(5), Event::IdleSweep);
+                    self.world
+                        .queue
+                        .schedule(self.world.now + SimDuration::from_secs(5), Event::IdleSweep);
                     self.service_all();
                 }
             }
             Event::EndRun => {
-                if self.load.is_some() {
-                    self.finish_visit(false);
+                if self.visits.load.is_some() {
+                    self.visits
+                        .finish_visit(&mut self.world, &self.cfg, &mut self.result, false);
                 }
                 self.ended = true;
             }
@@ -1773,10 +539,10 @@ impl Testbed {
 
     fn finalize(mut self) -> RunResult {
         // Harvest every pipe's stats/traces.
-        for idx in 0..self.pipes.len() {
-            self.harvest_pipe(idx);
+        for idx in 0..self.world.pipes.len() {
+            self.world.harvest_pipe(idx);
         }
-        for pipe in &mut self.pipes {
+        for pipe in &mut self.world.pipes {
             if !pipe.over_access {
                 continue;
             }
@@ -1798,19 +564,10 @@ impl Testbed {
             });
         }
         self.result.total_retransmissions = self.result.retransmissions.count() as u64;
-        self.result.promotions = self.access.promotions();
-        self.result.downlink_drops = self.access.down_drops();
-        self.result.energy_mj = self.access.energy_mj(self.now);
-        let mut records = Vec::new();
-        for r in self.http_proxy.records() {
-            records.push(r.clone());
-        }
-        for p in &self.spdy_proxies {
-            for r in p.records() {
-                records.push(r.clone());
-            }
-        }
-        self.result.proxy_records = records;
+        self.result.promotions = self.world.access.promotions();
+        self.result.downlink_drops = self.world.access.down_drops();
+        self.result.energy_mj = self.world.access.energy_mj(self.world.now);
+        self.result.proxy_records = self.side.proxy_records();
         self.result
     }
 }
@@ -1818,4 +575,25 @@ impl Testbed {
 /// Run one experiment configuration to completion.
 pub fn run_experiment(cfg: ExperimentConfig) -> RunResult {
     Testbed::new(cfg).run()
+}
+
+/// Run one experiment configuration, reporting a structured error if the
+/// event budget is exhausted.
+pub fn try_run_experiment(cfg: ExperimentConfig) -> Result<RunResult, RunError> {
+    Testbed::new(cfg).try_run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The parallel executor in `spdyier-experiments` moves whole
+    /// testbeds across threads; the harness must stay `Send` end to end.
+    #[test]
+    fn testbed_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Testbed>();
+        assert_send::<RunResult>();
+        assert_send::<RunError>();
+    }
 }

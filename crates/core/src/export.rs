@@ -18,13 +18,14 @@ pub struct DataFile {
 
 /// Export everything plottable from a run.
 pub fn export_run(result: &RunResult) -> Vec<DataFile> {
-    let mut files = Vec::new();
-    files.push(plt_file(result));
-    files.push(downlink_file(result));
-    files.push(inflight_file(result));
-    files.push(retransmissions_file(result));
-    files.push(promotions_file(result));
-    files.push(proxy_records_file(result));
+    let mut files = vec![
+        plt_file(result),
+        downlink_file(result),
+        inflight_file(result),
+        retransmissions_file(result),
+        promotions_file(result),
+        proxy_records_file(result),
+    ];
     for ct in &result.conn_traces {
         if let Some(trace) = &ct.trace {
             if !trace.cwnd_segments.is_empty() {

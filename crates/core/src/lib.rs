@@ -22,8 +22,11 @@ pub mod config;
 pub mod driver;
 pub mod export;
 pub mod results;
+mod session;
+mod visits;
+mod world;
 
 pub use config::{AccessPath, BeaconConfig, ExperimentConfig, NetworkKind, ProtocolMode};
-pub use driver::{run_experiment, Testbed};
+pub use driver::{run_experiment, try_run_experiment, RunError, Testbed};
 pub use export::{export_run, write_to_dir, DataFile};
 pub use results::{ConnTraceResult, RunResult, VisitResult};

@@ -82,6 +82,16 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// An empty result stamped with the run's identity triple.
+    pub fn new(protocol: &str, network: &str, seed: u64) -> RunResult {
+        RunResult {
+            protocol: protocol.to_string(),
+            network: network.to_string(),
+            seed,
+            ..RunResult::default()
+        }
+    }
+
     /// Page load times in ms, completed visits only.
     pub fn plts_ms(&self) -> Vec<f64> {
         self.visits

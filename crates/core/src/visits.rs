@@ -1,0 +1,289 @@
+//! Visit lifecycle: the schedule walker, per-visit page-load state, the
+//! browser's parse/execute timer, and the inter-visit beacon cadence.
+//!
+//! A [`Visits`] owns everything the *browser user* side of the testbed
+//! tracks — which site is loading, which objects the in-progress
+//! [`PageLoad`] still owes, and the background traffic (§5.7 beacons)
+//! that fills think time once a page finishes. The protocol sides report
+//! object progress through the tag helpers so stale generations and
+//! beacon responses never perturb page metrics.
+
+use crate::config::{ExperimentConfig, PageSource};
+use crate::results::{RunResult, VisitResult};
+use crate::world::{Event, World};
+use spdyier_browser::PageLoad;
+use spdyier_http::Request;
+use spdyier_origin::OriginServers;
+use spdyier_sim::{EventId, SimTime};
+use spdyier_workload::{synthesize, ObjectId, SiteSpec, WebPage};
+
+/// Sentinel tag for beacon (non-page) requests.
+pub(crate) const BEACON_TAG: u64 = u64::MAX;
+
+/// True when the (possibly 32-bit-masked) tag names a page object rather
+/// than the beacon sentinel.
+pub(crate) fn is_page_tag(tag: u64) -> bool {
+    (tag & 0xFFFF_FFFF) != (BEACON_TAG & 0xFFFF_FFFF)
+}
+
+/// Browser-side visit state for one run.
+pub(crate) struct Visits {
+    /// Monotone generation; bumped per visit so stale completions from an
+    /// abandoned load can be recognized and ignored.
+    pub visit_gen: u64,
+    /// Index of the in-progress visit in the schedule.
+    pub current_visit: Option<usize>,
+    /// The in-progress page load.
+    pub load: Option<PageLoad>,
+    /// The page being loaded.
+    pub current_page: Option<WebPage>,
+    /// Armed browser parse/execute timer.
+    pub browser_timer: Option<EventId>,
+    /// When the next scheduled visit begins (beacons must not outlive the
+    /// gap).
+    pub next_visit_start: SimTime,
+    /// Root domain of the last finished page (beacon destination).
+    pub beacon_domain: Option<String>,
+    /// Beacons already fired in the current inter-visit gap.
+    pub beacons_fired: u32,
+}
+
+impl Visits {
+    /// Fresh pre-first-visit state.
+    pub fn new() -> Visits {
+        Visits {
+            visit_gen: 0,
+            current_visit: None,
+            load: None,
+            current_page: None,
+            browser_timer: None,
+            next_visit_start: SimTime::MAX,
+            beacon_domain: None,
+            beacons_fired: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Object-progress reporting (called by the protocol sides)
+    // ------------------------------------------------------------------
+
+    /// Record a request issue for a live page object.
+    pub fn note_requested(&mut self, obj: ObjectId, now: SimTime) {
+        if let Some(load) = self.load.as_mut() {
+            load.note_requested(obj, now);
+        }
+    }
+
+    /// Record first response byte for a tagged object, unless the tag is a
+    /// beacon or from a stale generation.
+    pub fn note_first_byte_tagged(&mut self, generation: u64, tag: u64, now: SimTime) {
+        if generation == self.visit_gen && is_page_tag(tag) {
+            if let Some(load) = self.load.as_mut() {
+                load.note_first_byte(ObjectId(tag as u32), now);
+            }
+        }
+    }
+
+    /// Record completion for a tagged object, unless the tag is a beacon
+    /// or from a stale generation.
+    pub fn note_complete_tagged(&mut self, generation: u64, tag: u64, now: SimTime) {
+        if generation == self.visit_gen && is_page_tag(tag) {
+            if let Some(load) = self.load.as_mut() {
+                load.note_complete(ObjectId(tag as u32), now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Requests
+    // ------------------------------------------------------------------
+
+    /// Build the on-the-wire request for a tagged object (or beacon).
+    /// `None` for stale generations — the caller drops the request.
+    pub fn request_for(&self, generation: u64, tag: u64) -> Option<Request> {
+        let (host, path) = if tag == BEACON_TAG {
+            (self.beacon_domain.clone()?, "/beacon.gif".to_string())
+        } else {
+            if generation != self.visit_gen {
+                return None;
+            }
+            let page = self.current_page.as_ref()?;
+            let obj = page.objects.get(tag as usize)?;
+            (obj.domain.clone(), obj.path.clone())
+        };
+        let mut req = Request::get(host.clone(), path);
+        req.headers = browser_headers(&host);
+        Some(req)
+    }
+
+    // ------------------------------------------------------------------
+    // Browser timer
+    // ------------------------------------------------------------------
+
+    /// Re-arm the browser parse/execute timer from the load's next
+    /// deadline.
+    pub fn reschedule_browser_timer(&mut self, world: &mut World) {
+        if let Some(old) = self.browser_timer.take() {
+            world.queue.cancel(old);
+        }
+        if let Some(load) = self.load.as_ref() {
+            if let Some(at) = load.next_timer() {
+                let id = world.queue.schedule(at.max(world.now), Event::BrowserTimer);
+                self.browser_timer = Some(id);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Visit lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begin visit `visit`: abandon any incomplete load, synthesize (or
+    /// look up) the page, register it with the origins, and arm the
+    /// abandon deadline. The caller assigns ready objects and services
+    /// pipes afterwards.
+    pub fn start_visit(
+        &mut self,
+        world: &mut World,
+        cfg: &ExperimentConfig,
+        origin: &mut OriginServers,
+        result: &mut RunResult,
+        visit: usize,
+    ) {
+        if self.load.is_some() {
+            self.finish_visit(world, cfg, result, false);
+        }
+        self.visit_gen += 1;
+        self.current_visit = Some(visit);
+        let site = cfg.schedule.order[visit];
+        let next = cfg
+            .schedule
+            .visits()
+            .nth(visit + 1)
+            .map(|(t, _)| t)
+            .unwrap_or(cfg.schedule.horizon());
+        self.next_visit_start = next;
+        let page = match &cfg.pages {
+            PageSource::Table1 => {
+                let spec = SiteSpec::by_index(site).expect("schedule indices are valid");
+                let mut rng = world
+                    .rng_pages
+                    .fork_indexed("page", (u64::from(site) << 16) | self.visit_gen);
+                synthesize(spec, &mut rng)
+            }
+            PageSource::Custom(pages) => pages
+                .get((site as usize).saturating_sub(1))
+                .expect("schedule index within custom pages")
+                .clone(),
+        };
+        origin.register_page(&page);
+        self.current_page = Some(page.clone());
+        self.load = Some(PageLoad::new(page, world.now));
+        world.queue.schedule(
+            world.now + cfg.visit_timeout,
+            Event::VisitDeadline {
+                visit,
+                generation: self.visit_gen,
+            },
+        );
+    }
+
+    /// True once the in-progress load has finished every object.
+    pub fn load_complete(&self) -> bool {
+        self.load.as_ref().is_some_and(|l| l.is_complete())
+    }
+
+    /// Close out the in-progress visit (completed or abandoned), record
+    /// its [`VisitResult`], and arm the first inter-visit beacon.
+    pub fn finish_visit(
+        &mut self,
+        world: &mut World,
+        cfg: &ExperimentConfig,
+        result: &mut RunResult,
+        completed: bool,
+    ) {
+        let Some(load) = self.load.take() else {
+            return;
+        };
+        let Some(visit) = self.current_visit.take() else {
+            return;
+        };
+        if let Some(old) = self.browser_timer.take() {
+            world.queue.cancel(old);
+        }
+        let site = cfg.schedule.order[visit];
+        let start = load.start_time();
+        let onload = load.onload_time();
+        let plt_ms = match onload {
+            Some(t) => t.saturating_since(start).as_secs_f64() * 1e3,
+            None => world.now.saturating_since(start).as_secs_f64() * 1e3,
+        };
+        let page = load.page();
+        result.visits.push(VisitResult {
+            site,
+            start,
+            onload,
+            plt_ms,
+            completed: completed && onload.is_some(),
+            object_timings: load.timings().to_vec(),
+            object_count: page.object_count(),
+            total_bytes: page.total_bytes(),
+        });
+        self.beacon_domain = Some(page.root().domain.clone());
+        self.beacons_fired = 0;
+        if let Some(beacon) = cfg.beacon {
+            if beacon.max_per_visit > 0 {
+                world
+                    .queue
+                    .schedule(world.now + beacon.interval, Event::Beacon);
+            }
+        }
+    }
+
+    /// After firing a beacon, when the next one is due (if any): the
+    /// regular cadence up to `max_per_visit`, then the optional late
+    /// straggler (§5.7's deep mid-interval burst).
+    pub fn next_beacon_at(&self, cfg: &ExperimentConfig, now: SimTime) -> Option<SimTime> {
+        let beacon = cfg.beacon?;
+        let next = if self.beacons_fired < beacon.max_per_visit {
+            Some(now + beacon.interval)
+        } else if self.beacons_fired == beacon.max_per_visit {
+            beacon.late_gap.map(|g| now + g)
+        } else {
+            None
+        };
+        next.filter(|&t| t < self.next_visit_start)
+    }
+}
+
+/// The standard header set a 2013 Chrome sends with every request. HTTP
+/// pays these bytes on the uplink per request; SPDY's stateful header
+/// compression collapses the repetition — one of its documented
+/// advantages.
+pub(crate) fn browser_headers(host: &str) -> Vec<(String, String)> {
+    let mut cookie = String::with_capacity(192);
+    cookie.push_str("sid=");
+    let h = host
+        .as_bytes()
+        .iter()
+        .fold(0u64, |a, &b| a.wrapping_mul(131).wrapping_add(b as u64));
+    for i in 0..10u64 {
+        cookie.push_str(&format!(
+            "{:016x}",
+            h.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15))
+        ));
+    }
+    vec![
+        (
+            "user-agent".to_string(),
+            "Mozilla/5.0 (Windows NT 6.1) AppleWebKit/537.11 (KHTML, like Gecko) Chrome/23.0.1271.97 Safari/537.11".to_string(),
+        ),
+        (
+            "accept".to_string(),
+            "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8".to_string(),
+        ),
+        ("accept-encoding".to_string(), "gzip,deflate,sdch".to_string()),
+        ("accept-language".to_string(), "en-US,en;q=0.8".to_string()),
+        ("cookie".to_string(), cookie),
+    ]
+}

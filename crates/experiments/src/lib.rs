@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ascii;
+pub mod exec;
 pub mod extensions;
 pub mod mitigations;
 pub mod objects;
@@ -21,6 +22,8 @@ use serde_json::Value;
 use spdyier_core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode, RunResult};
 use spdyier_sim::DetRng;
 use spdyier_workload::VisitSchedule;
+
+pub use exec::Executor;
 
 /// A rendered experiment result.
 #[derive(Debug)]
@@ -89,19 +92,44 @@ pub fn run_schedule(
 }
 
 /// Paired HTTP/SPDY runs over identical schedules, one pair per seed.
+///
+/// Runs fan out across an [`Executor`] sized by `SPDYIER_JOBS` (or the
+/// machine's parallelism); each (seed, protocol) run is independent and
+/// deterministic, so the output is byte-identical to a serial sweep.
 pub fn paired_runs(
     network: NetworkKind,
     opts: ExpOpts,
     traces: bool,
 ) -> Vec<(RunResult, RunResult)> {
-    (0..opts.seeds)
-        .map(|s| {
-            (
-                run_schedule(ProtocolMode::Http, network, s, traces),
-                run_schedule(ProtocolMode::spdy(), network, s, traces),
-            )
-        })
-        .collect()
+    paired_runs_on(&Executor::from_env(), network, opts, traces)
+}
+
+/// [`paired_runs`] on an explicit executor (tests pin the pool width).
+pub fn paired_runs_on(
+    exec: &Executor,
+    network: NetworkKind,
+    opts: ExpOpts,
+    traces: bool,
+) -> Vec<(RunResult, RunResult)> {
+    // Flatten to 2 jobs per seed: even indices HTTP, odd indices SPDY.
+    let n = (opts.seeds as usize) * 2;
+    let mut flat = exec.run(n, |i| {
+        let s = (i / 2) as u64;
+        let protocol = if i % 2 == 0 {
+            ProtocolMode::Http
+        } else {
+            ProtocolMode::spdy()
+        };
+        run_schedule(protocol, network, s, traces)
+    });
+    let mut pairs = Vec::with_capacity(opts.seeds as usize);
+    while flat.len() >= 2 {
+        let spdy = flat.pop().expect("even job count");
+        let http = flat.pop().expect("even job count");
+        pairs.push((http, spdy));
+    }
+    pairs.reverse();
+    pairs
 }
 
 /// Per-site PLT samples (ms) pooled across runs.

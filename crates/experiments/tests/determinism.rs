@@ -1,0 +1,28 @@
+//! Parallel sweeps must be indistinguishable from serial ones: the
+//! executor only reorders *when* runs execute, never what they compute
+//! or where their outputs land.
+
+use spdyier_core::NetworkKind;
+use spdyier_experiments::{paired_runs_on, Executor, ExpOpts};
+
+/// A paired 3G sweep run serially and on a 4-worker pool serializes to
+/// byte-identical JSON, pair by pair.
+#[test]
+fn parallel_paired_3g_sweep_is_byte_identical_to_serial() {
+    let opts = ExpOpts { seeds: 1 };
+    let serial = paired_runs_on(&Executor::new(1), NetworkKind::Umts3G, opts, false);
+    let parallel = paired_runs_on(&Executor::new(4), NetworkKind::Umts3G, opts, false);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, ((sh, ss), (ph, ps))) in serial.iter().zip(parallel.iter()).enumerate() {
+        let sh = serde_json::to_string(sh).expect("serialize serial HTTP run");
+        let ph = serde_json::to_string(ph).expect("serialize parallel HTTP run");
+        assert_eq!(sh, ph, "HTTP run for seed {i} diverged under parallelism");
+        let ss = serde_json::to_string(ss).expect("serialize serial SPDY run");
+        let ps = serde_json::to_string(ps).expect("serialize parallel SPDY run");
+        assert_eq!(ss, ps, "SPDY run for seed {i} diverged under parallelism");
+    }
+    // The sweep actually measured something.
+    assert!(serial
+        .iter()
+        .all(|(h, s)| !h.visits.is_empty() && !s.visits.is_empty()));
+}

@@ -1,0 +1,469 @@
+//! Offline vendored stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes` 1.x API that the spdyier workspace
+//! uses: cheap reference-counted [`Bytes`] slices, a growable [`BytesMut`],
+//! and the [`Buf`]/[`BufMut`] cursor traits. Semantics match the upstream
+//! crate for every method provided (panics on out-of-range exactly like
+//! upstream). See `vendor/README.md` for why this exists.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty byte slice.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A `Bytes` viewing a static slice (copied here; upstream borrows).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copy an arbitrary slice into a new `Bytes`.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Split off and return the first `at` bytes, keeping the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Shorten to at most `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.end = self.start + len;
+        }
+    }
+
+    /// Split off and return the tail starting at `at`, keeping the head.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+
+    /// A sub-slice sharing the same backing storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+/// A unique, growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read cursor for the `Buf` impl (bytes before it are consumed).
+    pos: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            pos: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// Shorten to `len` unconsumed bytes.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.buf.truncate(self.pos + len);
+        }
+    }
+
+    /// Split off and return the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.buf[self.pos..self.pos + at].to_vec();
+        self.buf.drain(..self.pos + at);
+        self.pos = 0;
+        BytesMut { buf: head, pos: 0 }
+    }
+
+    /// Convert into an immutable `Bytes`.
+    pub fn freeze(mut self) -> Bytes {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+        }
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut {
+            buf: s.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+/// Read cursor over a contiguous buffer (upstream `bytes::Buf` subset).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte (big-endian like all `get_*`).
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&c[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    /// Copy the next `len` bytes out as a `Bytes`.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "copy_to_bytes out of bounds");
+        let out = Bytes::from(self.chunk()[..len].to_vec());
+        self.advance(len);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.pos += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor over a growable buffer (upstream `bytes::BufMut` subset).
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_split_and_slice() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        let tail = b.split_off(1);
+        assert_eq!(&b[..], &[3]);
+        assert_eq!(&tail[..], &[4, 5]);
+        assert_eq!(&tail.slice(1..)[..], &[5]);
+    }
+
+    #[test]
+    fn bytesmut_round_trip() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u32(0x01020304);
+        m.put_u8(9);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.get_u32(), 0x01020304);
+        assert_eq!(m.get_u8(), 9);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn buf_on_slice() {
+        let mut s: &[u8] = &[0, 0, 0, 7, 42];
+        assert_eq!(s.get_u32(), 7);
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.get_u8(), 42);
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Keeps `cargo bench` harnesses compiling and running offline: each
+//! benchmark executes its closure a small fixed number of times and prints
+//! a wall-clock estimate per iteration. No statistics, no HTML reports.
+//! See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Iterations the stand-in runs per benchmark (after one warm-up call).
+const STUB_ITERS: u32 = 10;
+
+/// Wrap a value to hide it from the optimizer, like the real criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    iters_run: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_run = u64::from(STUB_ITERS);
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters_run == 0 {
+        println!("bench {name}: no iterations run");
+        return;
+    }
+    let per_iter = b.elapsed / b.iters_run as u32;
+    let mut line = format!("bench {name}: {per_iter:?}/iter ({} iters)", b.iters_run);
+    if let Some(t) = throughput {
+        let secs = per_iter.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(", {:.1} MiB/s", n as f64 / secs / (1 << 20) as f64));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!(", {:.1} elem/s", n as f64 / secs));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark. Accepts anything string-like for the
+    /// name, as real criterion's `impl Into<BenchmarkId>` does.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters_run: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name.as_ref(), &b, None);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in ignores measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark within the group. Accepts anything string-like for
+    /// the name, as real criterion's `impl Into<BenchmarkId>` does.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters_run: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.as_ref()),
+            &b,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .measurement_time(Duration::from_millis(1))
+            .throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the serde
+//! stand-in. Hand-rolled token parsing (no syn/quote): supports
+//! non-generic structs (named, tuple, unit) and enums (unit, tuple and
+//! struct variants), plus `#[serde(transparent)]`. That covers every
+//! serialized type in the spdyier workspace; anything fancier panics at
+//! compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    /// Named field identifier, or the index for tuple fields.
+    name: String,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+/// Advance past attributes (`#[...]`), returning whether any of them is
+/// `serde(transparent)`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut transparent = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let body = g.stream().to_string().replace(' ', "");
+                    if body.starts_with("serde(") && body.contains("transparent") {
+                        transparent = true;
+                    }
+                    *i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    transparent
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip a type up to a top-level `,` (or end), tracking `<...>` depth so
+/// commas inside generics don't terminate early. Groups are atomic tokens,
+/// so parens/brackets need no tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i64 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            },
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde stub derive: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(Field {
+            name: name.to_string(),
+        });
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected ':', got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the ',' (or past the end)
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde stub derive: expected variant name, got {:?}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let transparent = skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("serde stub derive: expected struct/enum, got {:?}", tokens[i]);
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde stub derive: expected item name, got {:?}", tokens[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde stub derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde stub derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+    Item {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+fn named_fields_to_object(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), serde::Serialize::to_value(&{}{})),",
+                f.name, access_prefix, f.name
+            )
+        })
+        .collect();
+    format!("serde::Value::Object(vec![{}])", entries.join(""))
+}
+
+/// Derive `Serialize` (the stand-in's direct-to-value flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            if item.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "serde stub derive: transparent needs exactly one field"
+                );
+                format!("serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                named_fields_to_object(fields, "self.")
+            }
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k}),"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(""))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Value::Object(vec![({vname:?}.to_string(), serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(f{k}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Object(vec![({vname:?}.to_string(), serde::Value::Array(vec![{}]))]),",
+                                binds.join(","),
+                                items.join("")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = named_fields_to_object(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),",
+                                binds.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(""))
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde stub derive: generated impl parses")
+}
+
+/// Derive the `Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde stub derive: generated impl parses")
+}

@@ -1,0 +1,189 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Backed by the serde stand-in's [`Value`] tree: `to_string` /
+//! `to_string_pretty` render any `serde::Serialize` type, and the
+//! [`json!`] macro builds `Value` literals (objects, arrays, scalars, and
+//! embedded `Serialize` expressions). Object key order is insertion order,
+//! so rendering is deterministic. See `vendor/README.md`.
+
+pub use serde::Value;
+
+/// Serialization error. The stand-in's rendering is infallible, so this
+/// is never actually produced — it exists to keep `Result` signatures
+/// source-compatible with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// `Result` alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_value().render_compact(&mut out);
+    Ok(out)
+}
+
+/// Render `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_value().render_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Render `value` into a `Vec<u8>` of compact JSON.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Supports objects, arrays,
+/// `null`, and arbitrary `Serialize` expressions in value position
+/// (multi-token expressions are accumulated up to the next top-level
+/// comma by the `__json_*` muncher macros).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __arr: Vec<$crate::Value> = Vec::new();
+        $crate::__json_arr!(__arr; $($body)*);
+        $crate::Value::Array(__arr)
+    }};
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __obj: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::__json_obj!(__obj; $($body)*);
+        $crate::Value::Object(__obj)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+/// Object-body muncher for [`json!`]: `key : value , ...`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_obj {
+    ($obj:ident; ) => {};
+    ($obj:ident; $key:tt : null $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::__json_obj!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::__json_obj!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::__json_obj!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:tt : $($rest:tt)*) => {
+        $crate::__json_val!($obj; $key; []; $($rest)*);
+    };
+}
+
+/// Expression-value accumulator for [`__json_obj!`]: gathers tokens until
+/// a top-level comma (groups are atomic, so embedded commas are safe).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_val {
+    ($obj:ident; $key:tt; [$($acc:tt)+]; ) => {
+        $obj.push(($key.to_string(),
+            $crate::to_value(&($($acc)+)).expect("json! value serializes")));
+    };
+    ($obj:ident; $key:tt; [$($acc:tt)+]; , $($rest:tt)*) => {
+        $obj.push(($key.to_string(),
+            $crate::to_value(&($($acc)+)).expect("json! value serializes")));
+        $crate::__json_obj!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:tt; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::__json_val!($obj; $key; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+/// Array-body muncher for [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_arr {
+    ($arr:ident; ) => {};
+    ($arr:ident; null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::Null);
+        $crate::__json_arr!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::__json_arr!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::__json_arr!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; $($rest:tt)*) => {
+        $crate::__json_arr_val!($arr; []; $($rest)*);
+    };
+}
+
+/// Expression-element accumulator for [`__json_arr!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_arr_val {
+    ($arr:ident; [$($acc:tt)+]; ) => {
+        $arr.push($crate::to_value(&($($acc)+)).expect("json! value serializes"));
+    };
+    ($arr:ident; [$($acc:tt)+]; , $($rest:tt)*) => {
+        $arr.push($crate::to_value(&($($acc)+)).expect("json! value serializes"));
+        $crate::__json_arr!($arr; $($rest)*);
+    };
+    ($arr:ident; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::__json_arr_val!($arr; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_objects_arrays_exprs() {
+        let n = 3u32;
+        let v = json!({ "a": n, "b": [1, 2, { "c": null }], "d": "s" });
+        assert_eq!(
+            crate::to_string(&v).unwrap(),
+            r#"{"a":3,"b":[1,2,{"c":null}],"d":"s"}"#
+        );
+    }
+
+    #[test]
+    fn json_macro_multi_token_values() {
+        let xs = [10u32, 20, 30];
+        let v = json!({
+            "sum": xs.iter().copied().sum::<u32>(),
+            "slice": &xs[1..],
+            "fmt": format!("{}-{}", 1, 2),
+        });
+        assert_eq!(
+            crate::to_string(&v).unwrap(),
+            r#"{"sum":60,"slice":[20,30],"fmt":"1-2"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_matches_structure() {
+        let v = json!({ "k": [true] });
+        assert_eq!(
+            crate::to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    true\n  ]\n}"
+        );
+    }
+}
