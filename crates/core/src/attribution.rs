@@ -1,0 +1,365 @@
+//! Stall attribution: decompose each visit's page-load time into the
+//! intervals the flight recorder saw — radio promotion waits, RTO
+//! silences, link queueing, serialization, and origin think time.
+//!
+//! The attributor is a pure consumer of a [`FlightLog`]: it replays the
+//! event stream, turns the relevant events into typed time intervals,
+//! clips them to each visit's `[VisitStart, VisitStart + plt_us]`
+//! window, and sweeps the window's elementary segments once. Every
+//! microsecond of the window lands in exactly one category (overlaps
+//! resolve by a fixed priority), so the categories sum to the PLT
+//! *exactly* — conservation is by construction, not by rounding luck.
+//!
+//! Category priority when intervals overlap (highest wins):
+//! RTO stall > promotion > serialization > queueing > server think.
+//! RTO silences rank first because they are the pathology the paper
+//! chases (§5.5, §5.7): a spurious timeout that fires *while* the
+//! radio is promoting is exactly the cross-layer interaction worth
+//! surfacing, so the attributor must not let the promotion swallow
+//! it — the promotion's remainder is still counted. A promotion
+//! stalls everything behind it, so it subsumes overlapping
+//! transmissions; serialization is "the link is genuinely busy with
+//! this byte", so it beats the softer queueing share. Note the
+//! queueing share of a segment's journey (`[sent, deliver - ser]`)
+//! includes propagation delay — the recorder cannot split the two
+//! without a per-hop model, and for stall hunting "waiting on the
+//! path" is the useful aggregate anyway.
+
+use crate::export::DataFile;
+use serde::Serialize;
+use spdyier_sim::SimTime;
+use spdyier_trace::{FlightLog, TraceEvent};
+use std::fmt::Write as _;
+
+/// One visit's PLT decomposed into attributed stall categories.
+///
+/// Invariant: the six `*_us` fields sum to `end - start` exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StallBreakdown {
+    /// Visit index in the schedule.
+    pub visit: usize,
+    /// Site index loaded by the visit.
+    pub site: usize,
+    /// Visit start (the `VisitStart` record's timestamp).
+    pub start: SimTime,
+    /// Visit end (`start + plt_us` from the `VisitEnd` record).
+    pub end: SimTime,
+    /// Time under an RRC promotion (IDLE/FACH -> DCH and similar).
+    pub promotion_us: u64,
+    /// Time the access link spent clocking bytes out (transmission).
+    pub serialization_us: u64,
+    /// Time segments waited in queues / propagated, link not promoting.
+    pub queueing_us: u64,
+    /// Silent time ended by a TCP retransmission timeout.
+    pub rto_stall_us: u64,
+    /// Time an origin server spent "thinking" before replying.
+    pub server_think_us: u64,
+    /// Remainder: browser parse/execute, handshakes, overlap slack.
+    pub other_us: u64,
+}
+
+impl StallBreakdown {
+    /// The visit's page-load time in microseconds.
+    pub fn plt_us(&self) -> u64 {
+        self.end.saturating_since(self.start).as_micros()
+    }
+
+    /// Sum of every attributed category (equals [`Self::plt_us`]).
+    pub fn attributed_us(&self) -> u64 {
+        self.promotion_us
+            + self.serialization_us
+            + self.queueing_us
+            + self.rto_stall_us
+            + self.server_think_us
+            + self.other_us
+    }
+}
+
+/// Category indices in priority order (lower index wins on overlap).
+const RTO: usize = 0;
+const PROMOTION: usize = 1;
+const SERIALIZATION: usize = 2;
+const QUEUEING: usize = 3;
+const THINK: usize = 4;
+const CATEGORIES: usize = 5;
+
+/// Decompose every finished visit in `log` into a [`StallBreakdown`].
+///
+/// Needs at least `Transport`-level events for promotions and RTO
+/// stalls; serialization and queueing shares additionally need the
+/// `Full`-level `SegmentSent` records (they are zero otherwise).
+pub fn attribute_stalls(log: &FlightLog) -> Vec<StallBreakdown> {
+    // Pass 1: typed intervals, in microseconds, across the whole run.
+    let mut intervals: Vec<(u64, u64, usize)> = Vec::new();
+    // Visit windows: (visit, site, start_us, end_us).
+    let mut starts: Vec<(usize, usize, u64)> = Vec::new();
+    let mut windows: Vec<(usize, usize, u64, u64)> = Vec::new();
+    for rec in &log.events {
+        let t = rec.t.as_micros();
+        match &rec.event {
+            TraceEvent::VisitStart { visit, site } => starts.push((*visit, *site, t)),
+            TraceEvent::VisitEnd { visit, plt_us, .. } => {
+                if let Some(&(v, site, start)) = starts.iter().rev().find(|(v, ..)| v == visit) {
+                    windows.push((v, site, start, start + plt_us));
+                }
+            }
+            TraceEvent::RrcPromotion { start, done, .. } => {
+                intervals.push((start.as_micros(), done.as_micros(), PROMOTION));
+            }
+            TraceEvent::SegmentSent {
+                deliver, ser_us, ..
+            } => {
+                let deliver = deliver.as_micros();
+                let ser_start = deliver.saturating_sub(*ser_us);
+                intervals.push((ser_start, deliver, SERIALIZATION));
+                if t < ser_start {
+                    intervals.push((t, ser_start, QUEUEING));
+                }
+            }
+            TraceEvent::TcpRto { silent_since, .. } => {
+                intervals.push((silent_since.as_micros(), t, RTO));
+            }
+            TraceEvent::OriginThink { until, .. } => {
+                intervals.push((t, until.as_micros(), THINK));
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: per visit, clip + boundary-sweep.
+    let mut out = Vec::with_capacity(windows.len());
+    for (visit, site, vs, ve) in windows {
+        let clipped: Vec<(u64, u64, usize)> = intervals
+            .iter()
+            .filter_map(|&(a, b, c)| {
+                let (a, b) = (a.max(vs), b.min(ve));
+                (a < b).then_some((a, b, c))
+            })
+            .collect();
+        let mut points: Vec<u64> = vec![vs, ve];
+        for &(a, b, _) in &clipped {
+            points.push(a);
+            points.push(b);
+        }
+        points.sort_unstable();
+        points.dedup();
+        let mut sums = [0u64; CATEGORIES];
+        let mut other = 0u64;
+        for w in points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let cat = clipped
+                .iter()
+                .filter(|&&(s, e, _)| s <= a && e >= b)
+                .map(|&(_, _, c)| c)
+                .min();
+            match cat {
+                Some(c) => sums[c] += b - a,
+                None => other += b - a,
+            }
+        }
+        out.push(StallBreakdown {
+            visit,
+            site,
+            start: SimTime::from_micros(vs),
+            end: SimTime::from_micros(ve),
+            promotion_us: sums[PROMOTION],
+            serialization_us: sums[SERIALIZATION],
+            queueing_us: sums[QUEUEING],
+            rto_stall_us: sums[RTO],
+            server_think_us: sums[THINK],
+            other_us: other,
+        });
+    }
+    out
+}
+
+/// Render breakdowns as a plotter-friendly column file
+/// (`stalls_<label>.dat`), milliseconds per category.
+pub fn stall_file(label: &str, breakdowns: &[StallBreakdown]) -> DataFile {
+    let mut s = String::from(
+        "# visit site plt_ms promotion_ms serialization_ms queueing_ms rto_ms think_ms other_ms\n",
+    );
+    let ms = |us: u64| us as f64 / 1e3;
+    for b in breakdowns {
+        let _ = writeln!(
+            s,
+            "{} {} {:.3} {:.3} {:.3} {:.3} {:.3} {:.3} {:.3}",
+            b.visit + 1,
+            b.site,
+            ms(b.plt_us()),
+            ms(b.promotion_us),
+            ms(b.serialization_us),
+            ms(b.queueing_us),
+            ms(b.rto_stall_us),
+            ms(b.server_think_us),
+            ms(b.other_us),
+        );
+    }
+    DataFile {
+        name: format!("stalls_{}.dat", label.to_lowercase()),
+        contents: s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spdyier_trace::{TraceLevel, Tracer};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn log_with(events: Vec<(u64, TraceEvent)>) -> FlightLog {
+        let mut tr = Tracer::for_level(TraceLevel::Full);
+        for (at, ev) in events {
+            tr.emit(t(at), ev);
+        }
+        tr.finish()
+    }
+
+    #[test]
+    fn categories_conserve_plt_exactly() {
+        let log = log_with(vec![
+            (0, TraceEvent::VisitStart { visit: 0, site: 1 }),
+            (
+                100,
+                TraceEvent::RrcPromotion {
+                    kind: "IdleToDch".into(),
+                    start: t(100),
+                    done: t(2_100),
+                },
+            ),
+            // Overlaps the promotion tail: promotion wins the overlap.
+            (
+                2_000,
+                TraceEvent::SegmentSent {
+                    conn: 0,
+                    down: true,
+                    bytes: 1400,
+                    deliver: t(2_600),
+                    ser_us: 200,
+                    retransmit: false,
+                },
+            ),
+            (
+                3_000,
+                TraceEvent::TcpRto {
+                    conn: 0,
+                    b_side: true,
+                    silent_since: t(2_600),
+                },
+            ),
+            (
+                3_500,
+                TraceEvent::OriginThink {
+                    conn: 1,
+                    until: t(4_000),
+                },
+            ),
+            (
+                5_000,
+                TraceEvent::VisitEnd {
+                    visit: 0,
+                    completed: true,
+                    plt_us: 5_000,
+                },
+            ),
+        ]);
+        let stalls = attribute_stalls(&log);
+        assert_eq!(stalls.len(), 1);
+        let b = &stalls[0];
+        assert_eq!(b.plt_us(), 5_000);
+        assert_eq!(b.attributed_us(), b.plt_us(), "conservation is exact");
+        assert_eq!(b.promotion_us, 2_000);
+        // Segment journey [2000,2600]: [2000,2100] lost to promotion,
+        // queueing share [2100,2400], serialization share [2400,2600].
+        assert_eq!(b.queueing_us, 300);
+        assert_eq!(b.serialization_us, 200);
+        // RTO silence [2600,3000].
+        assert_eq!(b.rto_stall_us, 400);
+        assert_eq!(b.server_think_us, 500);
+        assert_eq!(b.other_us, 5_000 - 2_000 - 300 - 200 - 400 - 500);
+    }
+
+    #[test]
+    fn rto_silence_is_not_swallowed_by_an_overlapping_promotion() {
+        let log = log_with(vec![
+            (0, TraceEvent::VisitStart { visit: 0, site: 1 }),
+            (
+                0,
+                TraceEvent::RrcPromotion {
+                    kind: "IdleToDch".into(),
+                    start: t(0),
+                    done: t(2_000),
+                },
+            ),
+            // Spurious RTO mid-promotion — the paper's §5.5 interaction.
+            (
+                1_000,
+                TraceEvent::TcpRto {
+                    conn: 0,
+                    b_side: false,
+                    silent_since: t(0),
+                },
+            ),
+            (
+                3_000,
+                TraceEvent::VisitEnd {
+                    visit: 0,
+                    completed: true,
+                    plt_us: 3_000,
+                },
+            ),
+        ]);
+        let b = &attribute_stalls(&log)[0];
+        assert_eq!(b.rto_stall_us, 1_000, "the RTO silence wins the overlap");
+        assert_eq!(b.promotion_us, 1_000, "the promotion keeps its remainder");
+        assert_eq!(b.attributed_us(), 3_000);
+    }
+
+    #[test]
+    fn intervals_clip_to_the_visit_window() {
+        let log = log_with(vec![
+            (
+                0,
+                TraceEvent::RrcPromotion {
+                    kind: "IdleToDch".into(),
+                    start: t(0),
+                    done: t(1_500),
+                },
+            ),
+            (1_000, TraceEvent::VisitStart { visit: 0, site: 2 }),
+            (
+                2_000,
+                TraceEvent::VisitEnd {
+                    visit: 0,
+                    completed: true,
+                    plt_us: 1_000,
+                },
+            ),
+        ]);
+        let stalls = attribute_stalls(&log);
+        assert_eq!(stalls[0].promotion_us, 500, "only the in-window tail");
+        assert_eq!(stalls[0].attributed_us(), 1_000);
+    }
+
+    #[test]
+    fn stall_file_has_header_and_one_row_per_visit() {
+        let log = log_with(vec![
+            (0, TraceEvent::VisitStart { visit: 0, site: 1 }),
+            (
+                1_000,
+                TraceEvent::VisitEnd {
+                    visit: 0,
+                    completed: true,
+                    plt_us: 1_000,
+                },
+            ),
+        ]);
+        let f = stall_file("spdy", &attribute_stalls(&log));
+        assert_eq!(f.name, "stalls_spdy.dat");
+        assert!(f.contents.starts_with("# visit site plt_ms"));
+        assert_eq!(f.contents.lines().count(), 2);
+    }
+}

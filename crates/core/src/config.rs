@@ -10,6 +10,7 @@ use spdyier_cellular::{presets as cell_presets, CellularPath, Radio};
 use spdyier_net::{presets as net_presets, Direction, DuplexPath, LinkVerdict, LossModel};
 use spdyier_sim::{DetRng, SimDuration, SimTime};
 use spdyier_tcp::TcpConfig;
+use spdyier_trace::TraceLevel;
 use spdyier_workload::VisitSchedule;
 
 /// The access network between device and proxy.
@@ -103,6 +104,23 @@ impl AccessPath {
             AccessPath::Plain(p) => p.link(Direction::Down).stats(),
         };
         (stats.queue_drops, stats.loss_drops)
+    }
+
+    /// Drop counters `(queue_drops, loss_drops)` for either direction.
+    pub fn drops(&self, dir: Direction) -> (u64, u64) {
+        let stats = match self {
+            AccessPath::Cellular(p) => p.link(dir).stats(),
+            AccessPath::Plain(p) => p.link(dir).stats(),
+        };
+        (stats.queue_drops, stats.loss_drops)
+    }
+
+    /// Serialization (transmission) time of `bytes` in `dir`.
+    pub fn serialization_time(&self, dir: Direction, bytes: u64) -> SimDuration {
+        match self {
+            AccessPath::Cellular(p) => p.link(dir).serialization_time(bytes),
+            AccessPath::Plain(p) => p.link(dir).serialization_time(bytes),
+        }
     }
 
     /// Radio energy consumed so far, mJ.
@@ -240,6 +258,9 @@ pub struct ExperimentConfig {
     pub visit_timeout: SimDuration,
     /// Record full TCP traces (cwnd/ssthresh/inflight).
     pub record_traces: bool,
+    /// Flight-recorder level for the cross-layer event stream
+    /// ([`TraceLevel::Off`] costs nothing; see `spdyier-trace`).
+    pub trace_level: TraceLevel,
     /// Extra round trips charged when a SPDY (SSL) session is established.
     pub ssl_setup_rtts: u32,
     /// Close HTTP client connections idle for this long (Chrome's
@@ -281,6 +302,7 @@ impl ExperimentConfig {
             pages: PageSource::Table1,
             visit_timeout: SimDuration::from_secs(60),
             record_traces: false,
+            trace_level: TraceLevel::Off,
             ssl_setup_rtts: 2,
             http_idle_close: Some(SimDuration::from_secs(10)),
             http_pipelining: 1,
@@ -305,6 +327,12 @@ impl ExperimentConfig {
     /// Builder: enable tracing.
     pub fn with_traces(mut self) -> Self {
         self.record_traces = true;
+        self
+    }
+
+    /// Builder: set the flight-recorder level.
+    pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
         self
     }
 

@@ -25,6 +25,7 @@ use spdyier_net::Direction;
 use spdyier_origin::{OriginConfig, OriginServers};
 use spdyier_proxy::{ClientConnId, FetchId};
 use spdyier_sim::{SimDuration, SimTime};
+use spdyier_trace::{FlightLog, TraceEvent, TraceLevel};
 use spdyier_workload::ObjectId;
 
 /// A run failed in a structured, reportable way.
@@ -113,7 +114,13 @@ impl Testbed {
 
     /// Execute the run to completion, or report a structured error if the
     /// configured event budget runs out first.
-    pub fn try_run(mut self) -> Result<RunResult, RunError> {
+    pub fn try_run(self) -> Result<RunResult, RunError> {
+        self.try_run_traced().map(|(result, _)| result)
+    }
+
+    /// Execute the run to completion, returning both the results and the
+    /// flight recorder's log. With tracing off the log is empty.
+    pub fn try_run_traced(mut self) -> Result<(RunResult, FlightLog), RunError> {
         self.start();
         let mut events: u64 = 0;
         while let Some((t, ev)) = self.world.queue.pop() {
@@ -227,7 +234,7 @@ impl Testbed {
             mut role @ PipeRole::HttpClient { .. } => {
                 with_side!(self, side, ctx, {
                     if let Side::Http(http) = side {
-                        http.on_device_bytes(&mut ctx, &mut role, data);
+                        http.on_device_bytes(&mut ctx, idx, &mut role, data);
                     }
                 });
                 self.world.put_role(idx, role);
@@ -306,6 +313,18 @@ impl Testbed {
                 self.world.put_role(idx, role);
                 for req in requests {
                     let (latency, resp) = self.origin.handle(&req, &mut self.world.rng_origin);
+                    if self.world.tracer.active(TraceLevel::Lifecycle) {
+                        self.world.tracer.emit(
+                            self.world.now,
+                            TraceEvent::OriginThink {
+                                conn: idx,
+                                until: self.world.now + latency,
+                            },
+                        );
+                        self.world
+                            .tracer
+                            .observe("origin.think_us", latency.as_micros());
+                    }
                     self.world.queue.schedule(
                         self.world.now + latency,
                         Event::OriginReply {
@@ -411,6 +430,7 @@ impl Testbed {
                         .push(now, seg.len() as f64);
                 }
                 let p = &mut self.world.pipes[pipe];
+                p.last_activity = now;
                 let conn = if to_b { &mut p.b } else { &mut p.a };
                 conn.on_segment(now, seg);
                 self.world.mark_dirty(pipe);
@@ -421,6 +441,8 @@ impl Testbed {
                     return;
                 }
                 let now = self.world.now;
+                let transport = self.world.tracer.active(TraceLevel::Transport);
+                let silent_since = self.world.pipes[pipe].last_activity;
                 let p = &mut self.world.pipes[pipe];
                 let (conn, timer) = if b_side {
                     (&mut p.b, &mut p.b_timer)
@@ -428,7 +450,24 @@ impl Testbed {
                     (&mut p.a, &mut p.a_timer)
                 };
                 *timer = None;
+                let timeouts_before = if transport { conn.stats().timeouts } else { 0 };
                 conn.on_timer(now);
+                let timeouts_after = if transport { conn.stats().timeouts } else { 0 };
+                for _ in timeouts_before..timeouts_after {
+                    self.world.tracer.emit(
+                        now,
+                        TraceEvent::TcpRto {
+                            conn: pipe,
+                            b_side,
+                            silent_since,
+                        },
+                    );
+                    self.world.tracer.count("tcp.rto_fires", 1);
+                    self.world.tracer.observe(
+                        "tcp.rto_silence_us",
+                        now.saturating_since(silent_since).as_micros(),
+                    );
+                }
                 self.world.mark_dirty(pipe);
                 self.service_all();
             }
@@ -472,6 +511,9 @@ impl Testbed {
             }
             Event::SslReady { pipe } => {
                 if let PipeRole::SpdyClient { idx: sidx } = self.world.pipes[pipe].role {
+                    self.world
+                        .tracer
+                        .emit(self.world.now, TraceEvent::SslReady { conn: pipe });
                     if let Side::Spdy(spdy) = &mut self.side {
                         spdy.on_ssl_ready(&mut self.world, sidx);
                     }
@@ -486,6 +528,9 @@ impl Testbed {
                         self.world
                             .access
                             .send(dir, self.world.now, 1380, &mut self.world.rng_net);
+                }
+                if self.world.tracer.active(TraceLevel::Transport) {
+                    self.world.sync_promotions();
                 }
                 if let Some(interval) = self.cfg.keepalive_ping {
                     self.world
@@ -537,7 +582,12 @@ impl Testbed {
         }
     }
 
-    fn finalize(mut self) -> RunResult {
+    fn finalize(mut self) -> (RunResult, FlightLog) {
+        // Make sure every promotion taken this run reaches the recorder,
+        // even ones after the last access-pipe drain.
+        if self.world.tracer.active(TraceLevel::Transport) {
+            self.world.sync_promotions();
+        }
         // Harvest every pipe's stats/traces.
         for idx in 0..self.world.pipes.len() {
             self.world.harvest_pipe(idx);
@@ -568,7 +618,16 @@ impl Testbed {
         self.result.downlink_drops = self.world.access.down_drops();
         self.result.energy_mj = self.world.access.energy_mj(self.world.now);
         self.result.proxy_records = self.side.proxy_records();
-        self.result
+        // Publish run-level aggregates into the metrics registry (no-ops
+        // when tracing is off).
+        self.world
+            .tracer
+            .count("tcp.timeouts_total", self.result.total_timeouts);
+        self.world
+            .tracer
+            .count("run.visits", self.result.visits.len() as u64);
+        let log = std::mem::take(&mut self.world.tracer).finish();
+        (self.result, log)
     }
 }
 
@@ -581,6 +640,21 @@ pub fn run_experiment(cfg: ExperimentConfig) -> RunResult {
 /// event budget is exhausted.
 pub fn try_run_experiment(cfg: ExperimentConfig) -> Result<RunResult, RunError> {
     Testbed::new(cfg).try_run()
+}
+
+/// Run one experiment configuration and return the flight recorder's log
+/// alongside the results (empty when `cfg.trace_level` is `Off`).
+pub fn run_experiment_traced(cfg: ExperimentConfig) -> (RunResult, FlightLog) {
+    Testbed::new(cfg)
+        .try_run_traced()
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`run_experiment_traced`].
+pub fn try_run_experiment_traced(
+    cfg: ExperimentConfig,
+) -> Result<(RunResult, FlightLog), RunError> {
+    Testbed::new(cfg).try_run_traced()
 }
 
 #[cfg(test)]

@@ -134,10 +134,10 @@ fn proxy_records_file(result: &RunResult) -> DataFile {
 
 fn cwnd_file(label: &str, trace: &spdyier_tcp::TcpTrace) -> DataFile {
     let mut s = String::from("# t_s cwnd_seg ssthresh_seg inflight_bytes\n");
-    let ss: Vec<(SimTime, f64)> = trace.ssthresh_segments.iter().collect();
+    let ss: Vec<(SimTime, Option<f64>)> = trace.ssthresh_segments.iter().collect();
     let inflight: Vec<(SimTime, f64)> = trace.inflight_bytes.iter().collect();
     for (i, (t, cwnd)) in trace.cwnd_segments.iter().enumerate() {
-        let ssthresh = ss.get(i).map_or(f64::NAN, |&(_, v)| v);
+        let ssthresh = ss.get(i).and_then(|&(_, v)| v).unwrap_or(f64::NAN);
         let infl = inflight.get(i).map_or(f64::NAN, |&(_, v)| v);
         let _ = writeln!(
             s,
@@ -223,6 +223,60 @@ mod tests {
             .find(|f| f.name.starts_with("plt_"))
             .unwrap();
         assert_eq!(plt.contents.lines().count(), 2, "header + one visit");
+    }
+
+    /// Golden pin for the export surface: exact file names, every `#`
+    /// header line, and the column count of each header. Downstream
+    /// plotting scripts parse these files by position — a renamed file
+    /// or a reordered column is a silent breakage this test makes loud.
+    #[test]
+    fn export_surface_is_pinned() {
+        let r = small_run(true);
+        let files = export_run(&r);
+        let mut surface: Vec<(String, String, usize)> = files
+            .iter()
+            .map(|f| {
+                let header = f.contents.lines().next().unwrap_or_default().to_string();
+                let cols = header.trim_start_matches('#').split_whitespace().count();
+                (f.name.clone(), header, cols)
+            })
+            .collect();
+        // Per-connection cwnd files share one schema; pin the set once.
+        surface.retain(|(name, ..)| !name.starts_with("cwnd_spdy-") || name == "cwnd_spdy-0.dat");
+        let expected = [
+            (
+                "plt_spdy.dat",
+                "# visit site start_s plt_ms completed objects bytes",
+                7,
+            ),
+            ("downlink_spdy.dat", "# second bytes", 2),
+            ("inflight_spdy.dat", "# t_s inflight_bytes", 2),
+            ("rtx_spdy.dat", "# t_s", 1),
+            ("promotions_spdy.dat", "# start_s done_s kind", 3),
+            (
+                "proxy_spdy.dat",
+                "# fetch arrived_s origin_wait_ms origin_dl_ms client_transfer_ms domain",
+                6,
+            ),
+            (
+                "cwnd_spdy-0.dat",
+                "# t_s cwnd_seg ssthresh_seg inflight_bytes",
+                4,
+            ),
+        ];
+        assert_eq!(
+            surface.len(),
+            expected.len(),
+            "file set changed: {surface:?}"
+        );
+        for (name, header, cols) in expected {
+            let got = surface
+                .iter()
+                .find(|(n, ..)| n == name)
+                .unwrap_or_else(|| panic!("missing exported file {name}"));
+            assert_eq!(got.1, header, "{name} header changed");
+            assert_eq!(got.2, cols, "{name} column count changed");
+        }
     }
 
     #[test]

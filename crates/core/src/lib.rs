@@ -16,17 +16,26 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod analyzer;
+pub mod attribution;
 pub mod config;
 pub mod driver;
 pub mod export;
 pub mod results;
 mod session;
 mod visits;
+pub mod waterfall;
 mod world;
 
+pub use attribution::{attribute_stalls, stall_file, StallBreakdown};
 pub use config::{AccessPath, BeaconConfig, ExperimentConfig, NetworkKind, ProtocolMode};
-pub use driver::{run_experiment, try_run_experiment, RunError, Testbed};
+pub use driver::{
+    run_experiment, run_experiment_traced, try_run_experiment, try_run_experiment_traced, RunError,
+    Testbed,
+};
 pub use export::{export_run, write_to_dir, DataFile};
 pub use results::{ConnTraceResult, RunResult, VisitResult};
+pub use spdyier_trace::{FlightLog, TraceLevel};
+pub use waterfall::{waterfall, waterfall_json, Waterfall};

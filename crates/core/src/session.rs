@@ -24,6 +24,7 @@ use spdyier_proxy::{
 };
 use spdyier_sim::{SimDuration, SimTime};
 use spdyier_spdy::{Role, SpdyConfig, SpdyEvent, SpdySession};
+use spdyier_trace::{TraceEvent, TraceLevel};
 use spdyier_workload::ObjectId;
 use std::collections::{HashMap, VecDeque};
 
@@ -192,9 +193,15 @@ impl HttpSide {
         idx
     }
 
-    /// Device-side bytes arrived on an HTTP client pipe (its role is
+    /// Device-side bytes arrived on HTTP client pipe `idx` (its role is
     /// detached into `role` by the driver).
-    pub fn on_device_bytes(&mut self, ctx: &mut SessionCtx<'_>, role: &mut PipeRole, data: Bytes) {
+    pub fn on_device_bytes(
+        &mut self,
+        ctx: &mut SessionCtx<'_>,
+        idx: usize,
+        role: &mut PipeRole,
+        data: Bytes,
+    ) {
         let PipeRole::HttpClient {
             http,
             outstanding,
@@ -211,7 +218,7 @@ impl HttpSide {
             if !*got_first_byte && !data.is_empty() {
                 *got_first_byte = true;
                 ctx.visits
-                    .note_first_byte_tagged(generation, tag, ctx.world.now);
+                    .note_first_byte_tagged(ctx.world, generation, tag);
             }
         }
         let done = http.on_bytes(&data).unwrap_or_default();
@@ -228,8 +235,15 @@ impl HttpSide {
             if outstanding.is_empty() {
                 self.pool.release(pool_id);
             }
-            ctx.visits
-                .note_complete_tagged(generation, obj, ctx.world.now);
+            ctx.world.tracer.emit(
+                ctx.world.now,
+                TraceEvent::HttpResponseDone {
+                    conn: idx,
+                    gen: generation,
+                    tag: obj,
+                },
+            );
+            ctx.visits.note_complete_tagged(ctx.world, generation, obj);
         }
     }
 
@@ -275,9 +289,17 @@ impl HttpSide {
                 if let Some(bytes) = wire {
                     ctx.world.pipes[idx].out_a.push_back(bytes);
                 }
+                ctx.world.tracer.emit(
+                    ctx.world.now,
+                    TraceEvent::HttpRequestSent {
+                        conn: idx,
+                        gen: generation,
+                        tag: tag & 0xFFFF_FFFF,
+                    },
+                );
+                ctx.world.tracer.count("http.requests", 1);
                 if generation == ctx.visits.visit_gen && tag != BEACON_TAG {
-                    ctx.visits
-                        .note_requested(ObjectId(tag as u32), ctx.world.now);
+                    ctx.visits.note_requested(ctx.world, ObjectId(tag as u32));
                 }
                 issued_any = true;
             } else {
@@ -682,12 +704,33 @@ impl SpdySide {
         };
         let pipe = self.clients[sidx].pipe;
         for ev in events {
+            if ctx.world.tracer.active(TraceLevel::Full) {
+                let (kind, stream, fin) = match &ev {
+                    SpdyEvent::Reply { stream_id, fin, .. } => ("Reply", *stream_id, *fin),
+                    SpdyEvent::Data { stream_id, fin, .. } => ("Data", *stream_id, *fin),
+                    SpdyEvent::StreamOpened { stream_id, .. } => {
+                        ("StreamOpened", *stream_id, false)
+                    }
+                    SpdyEvent::Ping(_) => ("Ping", 0, false),
+                    SpdyEvent::Reset { .. } => ("Reset", 0, false),
+                    SpdyEvent::Goaway => ("Goaway", 0, false),
+                };
+                ctx.world.tracer.emit(
+                    ctx.world.now,
+                    TraceEvent::SpdyFrameRecv {
+                        conn: pipe,
+                        stream,
+                        kind: kind.to_string(),
+                        fin,
+                    },
+                );
+            }
             match ev {
                 SpdyEvent::Reply { stream_id, fin, .. } => {
                     if let Some(&(generation, tag, _)) = self.clients[sidx].streams.get(&stream_id)
                     {
                         ctx.visits
-                            .note_first_byte_tagged(generation, tag, ctx.world.now);
+                            .note_first_byte_tagged(ctx.world, generation, tag);
                         if let Some(e) = self.clients[sidx].streams.get_mut(&stream_id) {
                             e.2 = true;
                         }
@@ -710,7 +753,7 @@ impl SpdySide {
                     {
                         if !first_seen {
                             ctx.visits
-                                .note_first_byte_tagged(generation, tag, ctx.world.now);
+                                .note_first_byte_tagged(ctx.world, generation, tag);
                             if let Some(e) = self.clients[sidx].streams.get_mut(&stream_id) {
                                 e.2 = true;
                             }
@@ -734,7 +777,7 @@ impl SpdySide {
                     if let (Some(generation), Some(tag)) = (get("x-late-gen"), get("x-late-tag")) {
                         if tag != BEACON_TAG {
                             ctx.visits
-                                .note_first_byte_tagged(generation, tag, ctx.world.now);
+                                .note_first_byte_tagged(ctx.world, generation, tag);
                             self.clients[sidx]
                                 .streams
                                 .insert(stream_id, (generation, tag, true));
@@ -758,8 +801,7 @@ impl SpdySide {
         } else if let Some(fetch) = self.proxies[sidx].fetch_for_stream(stream_id) {
             self.proxies[sidx].on_client_received(fetch, ctx.world.now);
         }
-        ctx.visits
-            .note_complete_tagged(generation, tag, ctx.world.now);
+        ctx.visits.note_complete_tagged(ctx.world, generation, tag);
     }
 
     /// Proxy-side bytes arrived from the device on session `sidx`.
@@ -869,7 +911,17 @@ impl SpdySide {
             self.clients[sidx]
                 .streams
                 .insert(stream, (ctx.visits.visit_gen, u64::from(obj.0), false));
-            ctx.visits.note_requested(obj, ctx.world.now);
+            ctx.world.tracer.emit(
+                ctx.world.now,
+                TraceEvent::SpdyStreamOpen {
+                    conn: self.clients[sidx].pipe,
+                    stream,
+                    gen: ctx.visits.visit_gen,
+                    tag: u64::from(obj.0),
+                },
+            );
+            ctx.world.tracer.count("spdy.streams_opened", 1);
+            ctx.visits.note_requested(ctx.world, obj);
             self.pump_client_wire(ctx.world, sidx);
         }
     }
@@ -951,6 +1003,14 @@ impl AppSession for SpdySide {
                 })
                 .unwrap_or(sidx)
         };
+        ctx.world.tracer.emit(
+            ctx.world.now,
+            TraceEvent::ProxyLateBind {
+                fetch: fetch.0,
+                owner_session: sidx,
+                chosen_session: best,
+            },
+        );
         let (generation, tag) = self
             .fetch_tag
             .get(&fetch)

@@ -15,6 +15,7 @@ use spdyier_browser::PageLoad;
 use spdyier_http::Request;
 use spdyier_origin::OriginServers;
 use spdyier_sim::{EventId, SimTime};
+use spdyier_trace::{TraceEvent, TraceLevel};
 use spdyier_workload::{synthesize, ObjectId, SiteSpec, WebPage};
 
 /// Sentinel tag for beacon (non-page) requests.
@@ -68,28 +69,55 @@ impl Visits {
     // ------------------------------------------------------------------
 
     /// Record a request issue for a live page object.
-    pub fn note_requested(&mut self, obj: ObjectId, now: SimTime) {
+    pub fn note_requested(&mut self, world: &mut World, obj: ObjectId) {
         if let Some(load) = self.load.as_mut() {
-            load.note_requested(obj, now);
+            load.note_requested(obj, world.now);
+            if let Some(visit) = self.current_visit {
+                world.tracer.emit(
+                    world.now,
+                    TraceEvent::ObjectRequested {
+                        visit,
+                        object: obj.0,
+                    },
+                );
+            }
         }
     }
 
     /// Record first response byte for a tagged object, unless the tag is a
     /// beacon or from a stale generation.
-    pub fn note_first_byte_tagged(&mut self, generation: u64, tag: u64, now: SimTime) {
+    pub fn note_first_byte_tagged(&mut self, world: &mut World, generation: u64, tag: u64) {
         if generation == self.visit_gen && is_page_tag(tag) {
             if let Some(load) = self.load.as_mut() {
-                load.note_first_byte(ObjectId(tag as u32), now);
+                load.note_first_byte(ObjectId(tag as u32), world.now);
+                if let Some(visit) = self.current_visit {
+                    world.tracer.emit(
+                        world.now,
+                        TraceEvent::ObjectFirstByte {
+                            visit,
+                            object: tag as u32,
+                        },
+                    );
+                }
             }
         }
     }
 
     /// Record completion for a tagged object, unless the tag is a beacon
     /// or from a stale generation.
-    pub fn note_complete_tagged(&mut self, generation: u64, tag: u64, now: SimTime) {
+    pub fn note_complete_tagged(&mut self, world: &mut World, generation: u64, tag: u64) {
         if generation == self.visit_gen && is_page_tag(tag) {
             if let Some(load) = self.load.as_mut() {
-                load.note_complete(ObjectId(tag as u32), now);
+                load.note_complete(ObjectId(tag as u32), world.now);
+                if let Some(visit) = self.current_visit {
+                    world.tracer.emit(
+                        world.now,
+                        TraceEvent::ObjectComplete {
+                            visit,
+                            object: tag as u32,
+                        },
+                    );
+                }
             }
         }
     }
@@ -177,6 +205,13 @@ impl Visits {
                 .clone(),
         };
         origin.register_page(&page);
+        world.tracer.emit(
+            world.now,
+            TraceEvent::VisitStart {
+                visit,
+                site: site as usize,
+            },
+        );
         self.current_page = Some(page.clone());
         self.load = Some(PageLoad::new(page, world.now));
         world.queue.schedule(
@@ -218,6 +253,19 @@ impl Visits {
             Some(t) => t.saturating_since(start).as_secs_f64() * 1e3,
             None => world.now.saturating_since(start).as_secs_f64() * 1e3,
         };
+        if world.tracer.active(TraceLevel::Lifecycle) {
+            let end = onload.unwrap_or(world.now);
+            let plt_us = end.saturating_since(start).as_micros();
+            world.tracer.emit(
+                world.now,
+                TraceEvent::VisitEnd {
+                    visit,
+                    completed: completed && onload.is_some(),
+                    plt_us,
+                },
+            );
+            world.tracer.observe("visit.plt_ms", plt_us / 1_000);
+        }
         let page = load.page();
         result.visits.push(VisitResult {
             site,

@@ -1,0 +1,151 @@
+//! HAR-style waterfall export.
+//!
+//! Turns a run's per-object boundary instants ([`ObjectTiming`]) into
+//! the nested `log -> entries -> timings` shape HAR viewers expect:
+//! one entry per fetched object, its start offset, and the classic
+//! blocked / send / wait / receive split (HAR's `-1.0` convention for
+//! unknown phases). Field names are snake_case — the artifact is
+//! HAR-*style*, built for the repo's own tooling and for eyeballing,
+//! not for strict HAR 1.2 validators.
+
+use crate::results::RunResult;
+use serde::Serialize;
+use spdyier_browser::ObjectTiming;
+use spdyier_sim::SimDuration;
+
+/// Top-level waterfall artifact (`{"log": {...}}`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Waterfall {
+    /// The HAR-style log body.
+    pub log: WaterfallLog,
+}
+
+/// The log body: creator stamp plus one entry per object fetch.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WaterfallLog {
+    /// HAR schema version the shape mimics.
+    pub version: String,
+    /// Producing tool.
+    pub creator: String,
+    /// Protocol label of the run (`HTTP` / `SPDY`).
+    pub protocol: String,
+    /// One entry per page object, visit-major then discovery order.
+    pub entries: Vec<WaterfallEntry>,
+}
+
+/// One object's row in the waterfall.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WaterfallEntry {
+    /// Visit index in the schedule.
+    pub visit: usize,
+    /// Site index the visit loaded.
+    pub site: u32,
+    /// Object index within the page.
+    pub object: usize,
+    /// Start offset from run start, ms (discovery instant).
+    pub started_ms: f64,
+    /// Total lifetime, ms (`-1.0` when the fetch never completed).
+    pub time_ms: f64,
+    /// The phase split.
+    pub timings: WaterfallTimings,
+}
+
+/// HAR-style phase split for one object, ms; `-1.0` means unknown.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WaterfallTimings {
+    /// Discovery -> request issued (pool wait, handshake, throttle).
+    pub blocked_ms: f64,
+    /// Request issued -> fully written to the transport.
+    pub send_ms: f64,
+    /// Request written -> first response byte.
+    pub wait_ms: f64,
+    /// First byte -> last byte.
+    pub receive_ms: f64,
+}
+
+fn ms(d: Option<SimDuration>) -> f64 {
+    d.map_or(-1.0, |d| d.as_secs_f64() * 1e3)
+}
+
+fn entry(visit: usize, site: u32, object: usize, t: &ObjectTiming) -> WaterfallEntry {
+    WaterfallEntry {
+        visit,
+        site,
+        object,
+        started_ms: t
+            .discovered
+            .or(t.requested)
+            .map_or(-1.0, |at| at.as_secs_f64() * 1e3),
+        time_ms: ms(t.total_time()),
+        timings: WaterfallTimings {
+            blocked_ms: ms(t.init_time()),
+            send_ms: ms(t.send_time()),
+            wait_ms: ms(t.wait_time()),
+            receive_ms: ms(t.recv_time()),
+        },
+    }
+}
+
+/// Build the waterfall for every visit in `result`.
+pub fn waterfall(result: &RunResult) -> Waterfall {
+    let mut entries = Vec::new();
+    for (visit, v) in result.visits.iter().enumerate() {
+        for (object, t) in v.object_timings.iter().enumerate() {
+            entries.push(entry(visit, v.site, object, t));
+        }
+    }
+    Waterfall {
+        log: WaterfallLog {
+            version: "1.2".to_string(),
+            creator: "spdyier flight recorder".to_string(),
+            protocol: result.protocol.clone(),
+            entries,
+        },
+    }
+}
+
+/// The waterfall as pretty-printed JSON.
+pub fn waterfall_json(result: &RunResult) -> String {
+    serde_json::to_string_pretty(&waterfall(result)).expect("waterfall always serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentConfig, NetworkKind, ProtocolMode};
+    use crate::driver::run_experiment;
+    use spdyier_sim::SimDuration;
+    use spdyier_workload::VisitSchedule;
+
+    fn small_run() -> RunResult {
+        run_experiment(
+            ExperimentConfig::paper_3g(ProtocolMode::spdy(), 3)
+                .with_network(NetworkKind::Wifi)
+                .with_schedule(VisitSchedule::sequential(
+                    vec![9],
+                    SimDuration::from_secs(60),
+                )),
+        )
+    }
+
+    #[test]
+    fn waterfall_covers_every_fetched_object() {
+        let r = small_run();
+        let w = waterfall(&r);
+        let expected: usize = r.visits.iter().map(|v| v.object_timings.len()).sum();
+        assert_eq!(w.log.entries.len(), expected);
+        assert!(!w.log.entries.is_empty());
+        let done = w.log.entries.iter().filter(|e| e.time_ms >= 0.0).count();
+        assert!(done > 0, "completed objects have a total time");
+    }
+
+    #[test]
+    fn json_has_har_shape() {
+        let r = small_run();
+        let j = waterfall_json(&r);
+        assert!(j.contains("\"log\""));
+        assert!(j.contains("\"entries\""));
+        assert!(j.contains("\"timings\""));
+        assert!(j.contains("\"receive_ms\""));
+    }
+}

@@ -18,6 +18,7 @@ use spdyier_net::{presets as net_presets, Direction, DuplexPath, LinkVerdict};
 use spdyier_proxy::FetchId;
 use spdyier_sim::{DetRng, EventId, EventQueue, SimTime};
 use spdyier_tcp::{Segment, TcpConfig, TcpConnection, TcpMetricsCache};
+use spdyier_trace::{TraceEvent, TraceLevel, Tracer};
 use std::collections::VecDeque;
 
 /// Origin pipes per domain before fetches queue on the least-loaded one.
@@ -102,6 +103,12 @@ pub(crate) struct Pipe {
     pub label: String,
     /// Both sides fully closed and metrics harvested.
     pub closed: bool,
+    /// Last instant a segment left or arrived on this pipe (the start of
+    /// the silence an RTO stall is attributed to).
+    pub last_activity: SimTime,
+    /// Last `(cwnd, ssthresh, inflight)` sample emitted to the flight
+    /// recorder (so `TcpCwnd` events fire only on change).
+    pub last_cwnd_sample: Option<(u64, u64, u64)>,
 }
 
 /// Clock, queue, RNGs, links, and pipes for one run.
@@ -126,12 +133,16 @@ pub(crate) struct World {
     pub dirty: VecDeque<usize>,
     /// Cross-connection ssthresh/RTT cache (§6.2.4).
     pub metrics_cache: TcpMetricsCache,
+    /// The flight recorder every layer emits into.
+    pub tracer: Tracer,
     /// Device↔proxy TCP configuration.
     tcp: TcpConfig,
     /// Whether to seed/harvest the metrics cache.
     cache_metrics: bool,
     /// Whether access pipes record full cwnd traces.
     record_traces: bool,
+    /// Radio promotions already forwarded to the flight recorder.
+    promos_emitted: usize,
 }
 
 impl World {
@@ -159,9 +170,11 @@ impl World {
             pipes: Vec::new(),
             dirty: VecDeque::new(),
             metrics_cache: TcpMetricsCache::new(),
+            tracer: Tracer::for_level(cfg.trace_level),
             tcp: cfg.tcp,
             cache_metrics: cfg.cache_metrics,
             record_traces: cfg.record_traces,
+            promos_emitted: 0,
         }
     }
 
@@ -205,6 +218,17 @@ impl World {
         }
         a.connect(self.now);
         let idx = self.pipes.len();
+        if self.tracer.active(TraceLevel::Lifecycle) {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::ConnOpened {
+                    conn: idx,
+                    over_access,
+                    label: label.clone(),
+                },
+            );
+            self.tracer.count("conn.opened", 1);
+        }
         self.pipes.push(Pipe {
             a,
             b,
@@ -217,6 +241,8 @@ impl World {
             opened: self.now,
             label,
             closed: false,
+            last_activity: self.now,
+            last_cwnd_sample: None,
         });
         if over_access {
             result.connections_opened += 1;
@@ -290,7 +316,18 @@ impl World {
     /// Drain transmittable segments from both sides onto the links,
     /// scheduling deliveries (or dropping, per link verdict).
     pub fn drain_tx(&mut self, idx: usize, result: &mut RunResult) {
+        let transport = self.tracer.active(TraceLevel::Transport);
         for b_side in [false, true] {
+            let idle_restarts_before = if transport {
+                let conn = if b_side {
+                    &self.pipes[idx].b
+                } else {
+                    &self.pipes[idx].a
+                };
+                conn.stats().idle_restarts
+            } else {
+                0
+            };
             loop {
                 let seg = {
                     let conn = if b_side {
@@ -301,6 +338,7 @@ impl World {
                     conn.poll_transmit(self.now)
                 };
                 let Some(seg) = seg else { break };
+                self.pipes[idx].last_activity = self.now;
                 let over_access = self.pipes[idx].over_access;
                 // Record retransmissions on the access path (the paper's
                 // tcpdump vantage point). Pure-FIN retransmissions from
@@ -309,6 +347,16 @@ impl World {
                 // teardown is not on any measured path.
                 if over_access && seg.retransmit && (!seg.payload.is_empty() || seg.flags.syn) {
                     result.retransmissions.mark(self.now);
+                    if transport {
+                        self.tracer.emit(
+                            self.now,
+                            TraceEvent::TcpRetransmit {
+                                conn: idx,
+                                down: b_side,
+                            },
+                        );
+                        self.tracer.count("tcp.retransmissions", 1);
+                    }
                 }
                 let dir = match (over_access, b_side) {
                     // access: a = device (sends Up), b = proxy (sends Down)
@@ -319,6 +367,11 @@ impl World {
                     (false, false) => Direction::Up,
                     (false, true) => Direction::Down,
                 };
+                let drops_before = if transport && over_access {
+                    self.access.drops(dir)
+                } else {
+                    (0, 0)
+                };
                 let verdict = if over_access {
                     self.access
                         .send(dir, self.now, seg.wire_size(), &mut self.rng_net)
@@ -326,8 +379,25 @@ impl World {
                     self.wired
                         .send(dir, self.now, seg.wire_size(), &mut self.rng_net)
                 };
+                if transport && over_access {
+                    self.tracer.count("link.access.segments", 1);
+                }
                 match verdict {
                     LinkVerdict::Deliver(at) => {
+                        if over_access && self.tracer.active(TraceLevel::Full) {
+                            let ser = self.access.serialization_time(dir, seg.wire_size());
+                            self.tracer.emit(
+                                self.now,
+                                TraceEvent::SegmentSent {
+                                    conn: idx,
+                                    down: b_side,
+                                    bytes: seg.wire_size(),
+                                    deliver: at,
+                                    ser_us: ser.as_micros(),
+                                    retransmit: seg.retransmit,
+                                },
+                            );
+                        }
                         self.queue.schedule(
                             at,
                             Event::Deliver {
@@ -339,10 +409,85 @@ impl World {
                     }
                     LinkVerdict::Drop => {
                         // The packet evaporates; TCP recovery handles it.
+                        if transport && over_access {
+                            let after = self.access.drops(dir);
+                            self.tracer.emit(
+                                self.now,
+                                TraceEvent::LinkDrop {
+                                    conn: idx,
+                                    down: b_side,
+                                    queue_overflow: after.0 > drops_before.0,
+                                },
+                            );
+                            self.tracer.count("link.access.drops", 1);
+                        }
                     }
                 }
             }
+            if transport {
+                let conn = if b_side {
+                    &self.pipes[idx].b
+                } else {
+                    &self.pipes[idx].a
+                };
+                let restarts = conn.stats().idle_restarts;
+                for _ in idle_restarts_before..restarts {
+                    self.tracer
+                        .emit(self.now, TraceEvent::TcpIdleRestart { conn: idx, b_side });
+                    self.tracer.count("tcp.idle_restarts", 1);
+                }
+            }
         }
+        if transport {
+            self.sync_promotions();
+        }
+        if self.pipes[idx].over_access && self.tracer.active(TraceLevel::Full) {
+            self.sample_cwnd(idx);
+        }
+    }
+
+    /// Forward radio promotions taken since the last sync to the flight
+    /// recorder (each as one `[start, done]` interval, stamped at its
+    /// start).
+    pub fn sync_promotions(&mut self) {
+        let promotions = self.access.promotions();
+        for p in promotions.iter().skip(self.promos_emitted) {
+            self.tracer.emit(
+                p.start,
+                TraceEvent::RrcPromotion {
+                    kind: format!("{:?}", p.kind),
+                    start: p.start,
+                    done: p.done,
+                },
+            );
+            self.tracer.count("rrc.promotions", 1);
+            self.tracer.observe(
+                "rrc.promotion_us",
+                p.done.saturating_since(p.start).as_micros(),
+            );
+        }
+        self.promos_emitted = promotions.len();
+    }
+
+    /// Emit a `TcpCwnd` sample for the proxy (bulk-sender) side of an
+    /// access pipe when the window tuple changed.
+    fn sample_cwnd(&mut self, idx: usize) {
+        let b = &self.pipes[idx].b;
+        let sample = (b.cwnd(), b.ssthresh(), b.bytes_in_flight());
+        if self.pipes[idx].last_cwnd_sample == Some(sample) {
+            return;
+        }
+        self.pipes[idx].last_cwnd_sample = Some(sample);
+        let (cwnd, ssthresh, inflight) = sample;
+        self.tracer.emit(
+            self.now,
+            TraceEvent::TcpCwnd {
+                conn: idx,
+                cwnd,
+                ssthresh: (ssthresh != u64::MAX).then_some(ssthresh),
+                inflight,
+            },
+        );
     }
 
     /// Re-arm both sides' TCP timers from their current deadlines.
@@ -392,6 +537,8 @@ impl World {
             return;
         }
         self.pipes[idx].closed = true;
+        self.tracer
+            .emit(self.now, TraceEvent::ConnClosed { conn: idx });
         if let Some(t) = self.pipes[idx].a_timer.take() {
             self.queue.cancel(t);
         }
@@ -454,9 +601,11 @@ impl World {
                 }
             }
         }
+        let mut fresh_pipe = false;
         let target = if let Some(i) = idle {
             i
         } else if count < MAX_ORIGIN_PIPES_PER_DOMAIN {
+            fresh_pipe = true;
             self.new_pipe(
                 result,
                 false,
@@ -475,6 +624,18 @@ impl World {
                 .expect("at the cap implies at least one pipe")
                 .0
         };
+        if self.tracer.active(TraceLevel::Lifecycle) {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::ProxyFetchDispatch {
+                    fetch: fetch.0,
+                    conn: target,
+                    fresh_pipe,
+                    domain: domain.clone(),
+                },
+            );
+            self.tracer.count("proxy.fetches", 1);
+        }
         if let PipeRole::Origin { pending, .. } = &mut self.pipes[target].role {
             pending.push_back((fetch, request));
         }

@@ -7,6 +7,7 @@
 //! (`fig3`, `table2`, `rttreset`, … or `all`).
 
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod ascii;
 pub mod exec;
@@ -19,7 +20,10 @@ pub mod table1;
 pub mod tcp_dynamics;
 
 use serde_json::Value;
-use spdyier_core::{run_experiment, ExperimentConfig, NetworkKind, ProtocolMode, RunResult};
+use spdyier_core::{
+    run_experiment, run_experiment_traced, ExperimentConfig, FlightLog, NetworkKind, ProtocolMode,
+    RunResult, TraceLevel,
+};
 use spdyier_sim::DetRng;
 use spdyier_workload::VisitSchedule;
 
@@ -89,6 +93,50 @@ pub fn run_schedule(
         .with_schedule(schedule_for_seed(seed));
     cfg.record_traces = traces;
     run_experiment(cfg)
+}
+
+/// [`run_schedule`] with the flight recorder on at `level`, returning
+/// the run and its [`FlightLog`].
+pub fn run_schedule_traced(
+    protocol: ProtocolMode,
+    network: NetworkKind,
+    seed: u64,
+    level: TraceLevel,
+) -> (RunResult, FlightLog) {
+    let cfg = ExperimentConfig::paper_3g(protocol, seed)
+        .with_network(network)
+        .with_schedule(schedule_for_seed(seed))
+        .with_trace_level(level);
+    run_experiment_traced(cfg)
+}
+
+/// Paired traced HTTP/SPDY runs on an explicit executor: one (run, log)
+/// pair per seed, HTTP first. Fan-out matches [`paired_runs_on`], so
+/// the flight logs are byte-identical at any pool width.
+pub fn paired_runs_traced_on(
+    exec: &Executor,
+    network: NetworkKind,
+    opts: ExpOpts,
+    level: TraceLevel,
+) -> Vec<((RunResult, FlightLog), (RunResult, FlightLog))> {
+    let n = (opts.seeds as usize) * 2;
+    let mut flat = exec.run(n, |i| {
+        let s = (i / 2) as u64;
+        let protocol = if i % 2 == 0 {
+            ProtocolMode::Http
+        } else {
+            ProtocolMode::spdy()
+        };
+        run_schedule_traced(protocol, network, s, level)
+    });
+    let mut pairs = Vec::with_capacity(opts.seeds as usize);
+    while flat.len() >= 2 {
+        let spdy = flat.pop().expect("even job count");
+        let http = flat.pop().expect("even job count");
+        pairs.push((http, spdy));
+    }
+    pairs.reverse();
+    pairs
 }
 
 /// Paired HTTP/SPDY runs over identical schedules, one pair per seed.

@@ -3,20 +3,44 @@
 //! ```text
 //! experiments <id|all> [--seeds N] [--json DIR]
 //! experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]
+//! experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]
 //! ```
 //!
 //! The `export` form runs one full schedule with traces and writes
 //! gnuplot-ready `.dat` files (PLTs, per-second downlink, bytes in
 //! flight, retransmissions, promotions, proxy timelines, per-connection
 //! cwnd traces) to `DIR`.
+//!
+//! The `trace` form runs one full schedule with the flight recorder on
+//! (level from `SPDYIER_TRACE`, default `full`) and writes the raw
+//! JSONL event stream, the HAR-style waterfall, the per-visit stall
+//! attribution table, and the metrics registry to `DIR`.
 
-use spdyier_core::{export_run, write_to_dir, NetworkKind, ProtocolMode};
-use spdyier_experiments::{run_by_id, run_schedule, ExpOpts, ALL_EXPERIMENTS};
+use spdyier_core::{
+    attribute_stalls, export_run, stall_file, waterfall_json, write_to_dir, DataFile, NetworkKind,
+    ProtocolMode, TraceLevel,
+};
+use spdyier_experiments::{run_by_id, run_schedule, run_schedule_traced, ExpOpts, ALL_EXPERIMENTS};
 use std::io::Write;
 
 fn run_export(args: &[String]) -> ! {
+    let (protocol, network, dir, seed) = parse_run_args(args, "export");
+    let result = run_schedule(protocol, network, seed, true);
+    let files = export_run(&result);
+    let paths = write_to_dir(&files, &dir).expect("write export dir");
+    for p in &paths {
+        println!("wrote {}", p.display());
+    }
+    std::process::exit(0);
+}
+
+/// Parse the shared `<http|spdy> <network> <DIR> [--seed N]` tail.
+fn parse_run_args(
+    args: &[String],
+    cmd: &str,
+) -> (ProtocolMode, NetworkKind, std::path::PathBuf, u64) {
     let usage = || -> ! {
-        eprintln!("usage: experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
+        eprintln!("usage: experiments {cmd} <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         std::process::exit(2);
     };
     if args.len() < 3 {
@@ -41,9 +65,43 @@ fn run_export(args: &[String]) -> ! {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let result = run_schedule(protocol, network, seed, true);
-    let files = export_run(&result);
-    let paths = write_to_dir(&files, &dir).expect("write export dir");
+    (protocol, network, dir, seed)
+}
+
+fn run_trace(args: &[String]) -> ! {
+    let (protocol, network, dir, seed) = parse_run_args(args, "trace");
+    let level = match TraceLevel::from_env() {
+        TraceLevel::Off => TraceLevel::Full,
+        explicit => explicit,
+    };
+    let (result, log) = run_schedule_traced(protocol, network, seed, level);
+    let proto = result.protocol.to_lowercase();
+    let stalls = attribute_stalls(&log);
+    let metrics = serde_json::to_string_pretty(&log.metrics).expect("metrics serialize");
+    let files = vec![
+        DataFile {
+            name: format!("trace_{proto}.jsonl"),
+            contents: log.to_jsonl(),
+        },
+        DataFile {
+            name: format!("waterfall_{proto}.har.json"),
+            contents: waterfall_json(&result),
+        },
+        stall_file(&proto, &stalls),
+        DataFile {
+            name: format!("metrics_{proto}.json"),
+            contents: metrics,
+        },
+    ];
+    let paths = write_to_dir(&files, &dir).expect("write trace dir");
+    println!(
+        "traced {} on {:?} at {:?}: {} events ({} dropped)",
+        result.protocol,
+        network,
+        level,
+        log.events.len(),
+        log.dropped
+    );
     for p in &paths {
         println!("wrote {}", p.display());
     }
@@ -54,11 +112,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: experiments <id|all> [--seeds N] [--json DIR]");
+        eprintln!("       experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
+        eprintln!("       experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("ids: {}", ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
     if args[0] == "export" {
         run_export(&args[1..]);
+    }
+    if args[0] == "trace" {
+        run_trace(&args[1..]);
     }
     let mut opts = ExpOpts::default();
     let mut json_dir: Option<String> = None;

@@ -26,7 +26,12 @@ fn spdy_trace_report(
     let bin = SimDuration::from_secs(1);
     let horizon = SimTime::from_secs(hi);
     let cwnd = tr.cwnd_segments.bin_last(bin, horizon, 10.0);
-    let ssthresh = tr.ssthresh_segments.bin_last(bin, horizon, 999.0);
+    // Display-only substitution: plot "ssthresh unset" at a 999-segment
+    // ceiling so the step trace stays on a finite axis.
+    let ssthresh = tr
+        .ssthresh_segments
+        .to_series(999.0)
+        .bin_last(bin, horizon, 999.0);
     let rtx: Vec<u64> = tr
         .retransmits
         .times()

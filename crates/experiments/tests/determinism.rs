@@ -2,8 +2,8 @@
 //! executor only reorders *when* runs execute, never what they compute
 //! or where their outputs land.
 
-use spdyier_core::NetworkKind;
-use spdyier_experiments::{paired_runs_on, Executor, ExpOpts};
+use spdyier_core::{NetworkKind, TraceLevel};
+use spdyier_experiments::{paired_runs_on, paired_runs_traced_on, Executor, ExpOpts};
 
 /// A paired 3G sweep run serially and on a 4-worker pool serializes to
 /// byte-identical JSON, pair by pair.
@@ -25,4 +25,31 @@ fn parallel_paired_3g_sweep_is_byte_identical_to_serial() {
     assert!(serial
         .iter()
         .all(|(h, s)| !h.visits.is_empty() && !s.visits.is_empty()));
+}
+
+/// The flight recorder inherits the same guarantee: the JSONL trace
+/// stream of a traced paired sweep is byte-identical whether the sweep
+/// ran on one worker (`SPDYIER_JOBS=1`) or four.
+#[test]
+fn parallel_traced_sweep_has_byte_identical_jsonl() {
+    let opts = ExpOpts { seeds: 1 };
+    let level = TraceLevel::Transport;
+    let serial = paired_runs_traced_on(&Executor::new(1), NetworkKind::Umts3G, opts, level);
+    let parallel = paired_runs_traced_on(&Executor::new(4), NetworkKind::Umts3G, opts, level);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (((_, sh), (_, ss)), ((_, ph), (_, ps)))) in
+        serial.iter().zip(parallel.iter()).enumerate()
+    {
+        assert!(sh.emitted > 0 && ss.emitted > 0, "seed {i} traced nothing");
+        assert_eq!(
+            sh.to_jsonl(),
+            ph.to_jsonl(),
+            "HTTP trace for seed {i} diverged under parallelism"
+        );
+        assert_eq!(
+            ss.to_jsonl(),
+            ps.to_jsonl(),
+            "SPDY trace for seed {i} diverged under parallelism"
+        );
+    }
 }

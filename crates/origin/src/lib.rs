@@ -8,6 +8,7 @@
 //! comes from the wired path in `spdyier-net`.
 
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 use bytes::Bytes;
 use serde::Serialize;

@@ -15,6 +15,7 @@
 //! testbed driver on top of these same cores.
 
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod http_proxy;
 pub mod record;

@@ -28,6 +28,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod queue;
 pub mod rng;
@@ -37,6 +38,6 @@ pub mod time;
 
 pub use queue::{EventId, EventQueue};
 pub use rng::DetRng;
-pub use series::{EventMarks, TimeSeries};
+pub use series::{EventMarks, OptionSeries, TimeSeries};
 pub use stats::{BoxStats, Cdf, Histogram, MeanCi};
 pub use time::{SimDuration, SimTime};

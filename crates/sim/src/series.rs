@@ -121,6 +121,61 @@ impl TimeSeries {
     }
 }
 
+/// An append-only `(time, Option<value>)` series for quantities that can
+/// be genuinely *unset* (e.g. TCP's slow-start threshold before the first
+/// loss). Serializes missing values as JSON `null`, so consumers can't
+/// mistake "unset" for a real sample.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OptionSeries {
+    points: Vec<(SimTimeRepr, Option<f64>)>,
+}
+
+impl OptionSeries {
+    /// Create an empty series.
+    pub fn new() -> OptionSeries {
+        OptionSeries::default()
+    }
+
+    /// Append a sample (or an explicit "unset") at `t`.
+    pub fn push(&mut self, t: SimTime, value: Option<f64>) {
+        debug_assert!(
+            self.points
+                .last()
+                .is_none_or(|&(last, _)| last <= t.as_micros()),
+            "OptionSeries times must be non-decreasing"
+        );
+        self.points.push((t.as_micros(), value));
+    }
+
+    /// Number of samples (set or unset).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterate `(SimTime, Option<value>)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, Option<f64>)> + '_ {
+        self.points
+            .iter()
+            .map(|&(t, v)| (SimTime::from_micros(t), v))
+    }
+
+    /// Collapse to a [`TimeSeries`] for display, substituting `unset` for
+    /// missing values. Plot-only: the substitution is explicit at the call
+    /// site instead of baked into the recorded data.
+    pub fn to_series(&self, unset: f64) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        for (t, v) in self.iter() {
+            out.push(t, v.unwrap_or(unset));
+        }
+        out
+    }
+}
+
 /// A recorder of discrete event instants (e.g. retransmissions) that also
 /// supports burst analysis.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -241,6 +296,19 @@ mod tests {
         s.push(t(2), 9.0);
         assert_eq!(s.max_value(), Some(9.0));
         assert_eq!(s.mean_value(), 6.0);
+    }
+
+    #[test]
+    fn option_series_preserves_unset_and_converts_for_display() {
+        let mut s = OptionSeries::new();
+        s.push(t(1), None);
+        s.push(t(2), Some(8.0));
+        assert_eq!(s.len(), 2);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![(t(1), None), (t(2), Some(8.0))]);
+        let display = s.to_series(999.0);
+        let d: Vec<_> = display.iter().collect();
+        assert_eq!(d, vec![(t(1), 999.0), (t(2), 8.0)]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! flight, retransmissions, timeouts, and idle restarts, all timestamped.
 
 use serde::Serialize;
-use spdyier_sim::{EventMarks, SimTime, TimeSeries};
+use spdyier_sim::{EventMarks, OptionSeries, SimTime, TimeSeries};
 
 /// Cumulative per-connection counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
@@ -42,8 +42,9 @@ pub struct TcpStats {
 pub struct TcpTrace {
     /// Congestion window, in segments, sampled on every change.
     pub cwnd_segments: TimeSeries,
-    /// Slow-start threshold, in segments (clamped to 999 when unset).
-    pub ssthresh_segments: TimeSeries,
+    /// Slow-start threshold, in segments; `None` (serialized `null`)
+    /// until the first loss sets a real threshold.
+    pub ssthresh_segments: OptionSeries,
     /// Unacknowledged bytes in flight.
     pub inflight_bytes: TimeSeries,
     /// Retransmission instants.
@@ -56,11 +57,10 @@ pub struct TcpTrace {
     pub rtt_samples_ms: TimeSeries,
 }
 
-/// Ceiling used to plot "unset" ssthresh (`u64::MAX`) on a finite axis.
-pub const SSTHRESH_PLOT_CAP: f64 = 999.0;
-
 impl TcpTrace {
-    /// Record the window state after any change.
+    /// Record the window state after any change. An `ssthresh` of
+    /// `u64::MAX` means "not yet set" and is recorded as `None` rather
+    /// than a sentinel magnitude a reader could mistake for real.
     pub fn record_window(
         &mut self,
         now: SimTime,
@@ -72,9 +72,9 @@ impl TcpTrace {
         let mss = mss.max(1);
         self.cwnd_segments.push(now, cwnd as f64 / mss as f64);
         let ss = if ssthresh == u64::MAX {
-            SSTHRESH_PLOT_CAP
+            None
         } else {
-            (ssthresh as f64 / mss as f64).min(SSTHRESH_PLOT_CAP)
+            Some(ssthresh as f64 / mss as f64)
         };
         self.ssthresh_segments.push(now, ss);
         self.inflight_bytes.push(now, inflight as f64);
@@ -92,12 +92,17 @@ mod tests {
         let (_, cwnd) = t.cwnd_segments.iter().next().unwrap();
         assert_eq!(cwnd, 10.0);
         let (_, ss) = t.ssthresh_segments.iter().next().unwrap();
-        assert_eq!(
-            ss, SSTHRESH_PLOT_CAP,
-            "unset ssthresh clamps to the plot cap"
-        );
+        assert_eq!(ss, None, "unset ssthresh records as None, not a sentinel");
         let (_, inflight) = t.inflight_bytes.iter().next().unwrap();
         assert_eq!(inflight, 2760.0);
+    }
+
+    #[test]
+    fn record_window_keeps_real_ssthresh() {
+        let mut t = TcpTrace::default();
+        t.record_window(SimTime::from_millis(5), 13_800, 6_900, 1380, 0);
+        let (_, ss) = t.ssthresh_segments.iter().next().unwrap();
+        assert_eq!(ss, Some(5.0));
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! The typed cross-layer event vocabulary.
+//!
+//! Every layer of the testbed — cellular radio, link, TCP, SPDY/HTTP,
+//! browser, proxy — emits into one stream of [`TraceEvent`]s, each
+//! stamped with the simulated time it occurred at ([`TraceRecord`]).
+//! Events are keyed by the identifiers the layers already share:
+//! connection index (pipe slot in the `World`), visit index, stream id
+//! or object tag. Serialization is externally tagged
+//! (`{"VariantName": {...}}`), one JSON object per record, which is
+//! what the JSONL writer emits line by line.
+
+use serde::Serialize;
+use spdyier_sim::SimTime;
+
+/// How much of the event vocabulary a run records.
+///
+/// Levels are cumulative: `Transport` includes everything `Lifecycle`
+/// records, `Full` includes everything. `Off` is the zero-cost default —
+/// the recorder short-circuits before any event is even constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum TraceLevel {
+    /// Record nothing; the recorder is a no-op.
+    Off,
+    /// Visit, object, request/response, stream, and connection lifecycle
+    /// plus proxy routing decisions — what a HAR waterfall needs.
+    Lifecycle,
+    /// Lifecycle plus radio promotions, link drops, RTO fires, idle
+    /// restarts, and retransmissions — what stall attribution needs.
+    Transport,
+    /// Everything, including per-segment sends, cwnd/ssthresh samples,
+    /// and per-frame SPDY receives.
+    Full,
+}
+
+impl TraceLevel {
+    /// Parse the `SPDYIER_TRACE` environment variable.
+    ///
+    /// Accepts names (`off`, `lifecycle`, `transport`, `full`) or the
+    /// numeric levels `0`–`3`; unset or unrecognized values mean `Off`.
+    pub fn from_env() -> TraceLevel {
+        match std::env::var("SPDYIER_TRACE") {
+            Ok(v) => TraceLevel::parse(&v).unwrap_or(TraceLevel::Off),
+            Err(_) => TraceLevel::Off,
+        }
+    }
+
+    /// Parse a level name or digit; `None` for unrecognized input.
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "none" => Some(TraceLevel::Off),
+            "1" | "lifecycle" => Some(TraceLevel::Lifecycle),
+            "2" | "transport" => Some(TraceLevel::Transport),
+            "3" | "full" | "frames" => Some(TraceLevel::Full),
+            _ => None,
+        }
+    }
+}
+
+/// One event, from whichever layer produced it.
+///
+/// Field conventions: `conn` is the pipe index in the `World`, `visit`
+/// the visit index in the schedule, `tag` the object tag carried in
+/// request/response framing, `down` distinguishes downlink from uplink
+/// on the access path, and `b_side` marks the proxy/origin end of a
+/// pipe (as opposed to the device end).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEvent {
+    // -- Lifecycle -------------------------------------------------------
+    /// A page visit began.
+    VisitStart { visit: usize, site: usize },
+    /// A page visit finished (or was abandoned at its deadline).
+    VisitEnd {
+        visit: usize,
+        completed: bool,
+        plt_us: u64,
+    },
+    /// The browser asked for an object (it left the parse queue).
+    ObjectRequested { visit: usize, object: u32 },
+    /// First response byte for an object reached the browser.
+    ObjectFirstByte { visit: usize, object: u32 },
+    /// The last byte of an object arrived; the fetch is done.
+    ObjectComplete { visit: usize, object: u32 },
+    /// An HTTP request was written to a connection. `gen` is the visit
+    /// generation the request belongs to (tags are per-generation).
+    HttpRequestSent { conn: usize, gen: u64, tag: u64 },
+    /// An HTTP response body completed on a connection.
+    HttpResponseDone { conn: usize, gen: u64, tag: u64 },
+    /// A SPDY stream was opened for an object.
+    SpdyStreamOpen {
+        conn: usize,
+        stream: u32,
+        gen: u64,
+        tag: u64,
+    },
+    /// A transport connection was opened.
+    ConnOpened {
+        conn: usize,
+        over_access: bool,
+        label: String,
+    },
+    /// A transport connection was closed and harvested.
+    ConnClosed { conn: usize },
+    /// The TLS-equivalent handshake finished; the pipe is usable.
+    SslReady { conn: usize },
+    /// The proxy routed an origin fetch onto a wired connection.
+    ProxyFetchDispatch {
+        fetch: u64,
+        conn: usize,
+        fresh_pipe: bool,
+        domain: String,
+    },
+    /// The proxy late-bound a finished origin fetch to a device session.
+    ProxyLateBind {
+        fetch: u64,
+        owner_session: usize,
+        chosen_session: usize,
+    },
+    /// The origin is "thinking" (server-side latency) until `until`.
+    OriginThink { conn: usize, until: SimTime },
+
+    // -- Transport -------------------------------------------------------
+    /// An RRC promotion interval (IDLE/FACH -> DCH and similar).
+    RrcPromotion {
+        kind: String,
+        start: SimTime,
+        done: SimTime,
+    },
+    /// The access link dropped a segment.
+    LinkDrop {
+        conn: usize,
+        down: bool,
+        queue_overflow: bool,
+    },
+    /// A TCP retransmission timeout fired.
+    TcpRto {
+        conn: usize,
+        b_side: bool,
+        silent_since: SimTime,
+    },
+    /// TCP restarted from idle (cwnd collapsed after quiescence).
+    TcpIdleRestart { conn: usize, b_side: bool },
+    /// TCP retransmitted a data segment.
+    TcpRetransmit { conn: usize, down: bool },
+
+    // -- Full ------------------------------------------------------------
+    /// A congestion-window sample (emitted when the tuple changes).
+    TcpCwnd {
+        conn: usize,
+        cwnd: u64,
+        ssthresh: Option<u64>,
+        inflight: u64,
+    },
+    /// A segment entered the link; `deliver` is its arrival time and
+    /// `ser_us` the serialization (transmission) share of that journey.
+    SegmentSent {
+        conn: usize,
+        down: bool,
+        bytes: u64,
+        deliver: SimTime,
+        ser_us: u64,
+        retransmit: bool,
+    },
+    /// A SPDY frame reached the device.
+    SpdyFrameRecv {
+        conn: usize,
+        stream: u32,
+        kind: String,
+        fin: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The minimum [`TraceLevel`] at which this event is recorded.
+    pub fn level(&self) -> TraceLevel {
+        use TraceEvent::*;
+        match self {
+            VisitStart { .. }
+            | VisitEnd { .. }
+            | ObjectRequested { .. }
+            | ObjectFirstByte { .. }
+            | ObjectComplete { .. }
+            | HttpRequestSent { .. }
+            | HttpResponseDone { .. }
+            | SpdyStreamOpen { .. }
+            | ConnOpened { .. }
+            | ConnClosed { .. }
+            | SslReady { .. }
+            | ProxyFetchDispatch { .. }
+            | ProxyLateBind { .. }
+            | OriginThink { .. } => TraceLevel::Lifecycle,
+            RrcPromotion { .. }
+            | LinkDrop { .. }
+            | TcpRto { .. }
+            | TcpIdleRestart { .. }
+            | TcpRetransmit { .. } => TraceLevel::Transport,
+            TcpCwnd { .. } | SegmentSent { .. } | SpdyFrameRecv { .. } => TraceLevel::Full,
+        }
+    }
+}
+
+/// An event plus the simulated instant it happened.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceRecord {
+    /// Simulated time of the event, microseconds since run start.
+    pub t: SimTime,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// One JSONL line (no trailing newline) for this record.
+    pub fn to_jsonl_line(&self) -> String {
+        serde_json::to_string(self).expect("trace records always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_parseable() {
+        assert!(TraceLevel::Off < TraceLevel::Lifecycle);
+        assert!(TraceLevel::Lifecycle < TraceLevel::Transport);
+        assert!(TraceLevel::Transport < TraceLevel::Full);
+        assert_eq!(TraceLevel::parse("transport"), Some(TraceLevel::Transport));
+        assert_eq!(TraceLevel::parse("3"), Some(TraceLevel::Full));
+        assert_eq!(TraceLevel::parse("OFF"), Some(TraceLevel::Off));
+        assert_eq!(TraceLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn event_levels_match_vocabulary_tiers() {
+        let start = TraceEvent::VisitStart { visit: 0, site: 3 };
+        assert_eq!(start.level(), TraceLevel::Lifecycle);
+        let rto = TraceEvent::TcpRto {
+            conn: 1,
+            b_side: true,
+            silent_since: SimTime::from_micros(10),
+        };
+        assert_eq!(rto.level(), TraceLevel::Transport);
+        let seg = TraceEvent::SegmentSent {
+            conn: 1,
+            down: true,
+            bytes: 1400,
+            deliver: SimTime::from_micros(500),
+            ser_us: 120,
+            retransmit: false,
+        };
+        assert_eq!(seg.level(), TraceLevel::Full);
+    }
+
+    #[test]
+    fn records_serialize_as_externally_tagged_jsonl() {
+        let rec = TraceRecord {
+            t: SimTime::from_micros(1500),
+            event: TraceEvent::VisitEnd {
+                visit: 2,
+                completed: true,
+                plt_us: 1_200_000,
+            },
+        };
+        let line = rec.to_jsonl_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"VisitEnd\""), "line: {line}");
+        assert!(line.contains("\"plt_us\":1200000"), "line: {line}");
+        assert!(!line.contains('\n'));
+    }
+}

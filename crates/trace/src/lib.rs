@@ -1,0 +1,32 @@
+//! Flight recorder for the SPDY'ier testbed.
+//!
+//! The paper's analysis (Erman et al., CoNEXT 2013) worked because the
+//! authors could line up tcpdump captures, `tcp_probe` cwnd samples,
+//! and RRC state inferences on one timeline. This crate gives the
+//! simulated testbed the same power: a deterministic, sim-time-stamped,
+//! typed event bus that every layer emits into, plus a metrics registry
+//! for aggregate counters, behind a level gate that makes the whole
+//! thing free when off.
+//!
+//! - [`TraceEvent`] / [`TraceRecord`] — the cross-layer vocabulary.
+//! - [`TraceLevel`] — `Off` < `Lifecycle` < `Transport` < `Full`,
+//!   settable via `SPDYIER_TRACE`.
+//! - [`TraceSink`] — where records go: [`NullSink`], [`MemorySink`],
+//!   bounded [`RingSink`], streaming [`JsonlWriter`].
+//! - [`MetricsRegistry`] — named counters + power-of-two histograms,
+//!   deterministically ordered.
+//! - [`Tracer`] / [`FlightLog`] — the recorder the `World` carries and
+//!   the artifact a finished run hands to consumers (stall attribution,
+//!   waterfall export, JSONL dump) in `spdyier-core`.
+
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod sink;
+
+pub use event::{TraceEvent, TraceLevel, TraceRecord};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{FlightLog, Tracer};
+pub use sink::{to_jsonl, JsonlWriter, MemorySink, NullSink, RingSink, TraceSink};

@@ -1,0 +1,236 @@
+//! The recorder that the simulation carries around.
+//!
+//! [`Tracer`] is the single object threaded through the `World`: it
+//! owns the level gate, the sink, and the metrics registry. Emission
+//! sites call [`Tracer::active`] first (an inlined level compare) so
+//! that at `Off` no event — and none of its `String` fields — is ever
+//! constructed. When a run finishes, [`Tracer::finish`] folds
+//! everything into a [`FlightLog`], the self-contained artifact the
+//! consumers (stall attributor, waterfall exporter, JSONL dump) read.
+
+use serde::Serialize;
+use spdyier_sim::SimTime;
+
+use crate::event::{TraceEvent, TraceLevel, TraceRecord};
+use crate::metrics::MetricsRegistry;
+use crate::sink::{self, MemorySink, NullSink, TraceSink};
+
+/// The per-run event recorder: level gate + sink + metrics.
+pub struct Tracer {
+    level: TraceLevel,
+    sink: Box<dyn TraceSink>,
+    metrics: MetricsRegistry,
+    emitted: u64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("level", &self.level)
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::off()
+    }
+}
+
+impl Tracer {
+    /// A disabled recorder: `Off` level, [`NullSink`], no metrics.
+    pub fn off() -> Tracer {
+        Tracer {
+            level: TraceLevel::Off,
+            sink: Box::new(NullSink),
+            metrics: MetricsRegistry::new(),
+            emitted: 0,
+        }
+    }
+
+    /// A recorder for `level`, retaining events in memory (the default
+    /// for in-process consumers). `Off` degenerates to [`Tracer::off`].
+    pub fn for_level(level: TraceLevel) -> Tracer {
+        if level == TraceLevel::Off {
+            return Tracer::off();
+        }
+        Tracer {
+            level,
+            sink: Box::new(MemorySink::new()),
+            metrics: MetricsRegistry::new(),
+            emitted: 0,
+        }
+    }
+
+    /// A recorder for `level` writing into a caller-supplied sink.
+    pub fn with_sink(level: TraceLevel, sink: Box<dyn TraceSink>) -> Tracer {
+        if level == TraceLevel::Off {
+            return Tracer::off();
+        }
+        Tracer {
+            level,
+            sink,
+            metrics: MetricsRegistry::new(),
+            emitted: 0,
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Whether events at `level` are being recorded. Emission sites
+    /// check this before constructing an event, so `Off` costs one
+    /// integer compare per site.
+    #[inline]
+    pub fn active(&self, level: TraceLevel) -> bool {
+        level <= self.level && self.level != TraceLevel::Off
+    }
+
+    /// Record `event` at time `t` if the level admits it.
+    #[inline]
+    pub fn emit(&mut self, t: SimTime, event: TraceEvent) {
+        if !self.active(event.level()) {
+            return;
+        }
+        self.emitted += 1;
+        self.sink.record(TraceRecord { t, event });
+    }
+
+    /// How many events passed the level gate so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Add to a named counter. No-op when tracing is off, so disabled
+    /// runs allocate no metric storage at all.
+    #[inline]
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if self.level != TraceLevel::Off {
+            self.metrics.count(name, delta);
+        }
+    }
+
+    /// Observe into a named histogram. No-op when tracing is off.
+    #[inline]
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if self.level != TraceLevel::Off {
+            self.metrics.observe(name, value);
+        }
+    }
+
+    /// Read access to the metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Close out the run: drain the sink and package everything.
+    pub fn finish(mut self) -> FlightLog {
+        FlightLog {
+            level: self.level,
+            events: self.sink.drain(),
+            dropped: self.sink.dropped(),
+            emitted: self.emitted,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// Everything a traced run recorded: the event stream, shed count,
+/// and the metrics registry. Self-contained input for the consumers.
+#[derive(Debug, Serialize)]
+pub struct FlightLog {
+    /// The level the run was recorded at.
+    pub level: TraceLevel,
+    /// All retained records, in emission (= simulated time) order.
+    pub events: Vec<TraceRecord>,
+    /// Records shed by the sink (ring overflow / write failures).
+    pub dropped: u64,
+    /// Records that passed the level gate (>= `events.len()`).
+    pub emitted: u64,
+    /// The run's metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl FlightLog {
+    /// The whole event stream as JSONL (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        sink::to_jsonl(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    fn visit_start(visit: usize) -> TraceEvent {
+        TraceEvent::VisitStart { visit, site: 0 }
+    }
+
+    fn cwnd_sample() -> TraceEvent {
+        TraceEvent::TcpCwnd {
+            conn: 0,
+            cwnd: 14_600,
+            ssthresh: None,
+            inflight: 0,
+        }
+    }
+
+    #[test]
+    fn off_tracer_materializes_nothing() {
+        let mut tr = Tracer::off();
+        assert!(!tr.active(TraceLevel::Lifecycle));
+        tr.emit(SimTime::ZERO, visit_start(0));
+        tr.count("c", 1);
+        tr.observe("h", 5);
+        assert_eq!(tr.emitted(), 0);
+        let log = tr.finish();
+        assert!(log.events.is_empty());
+        assert_eq!(log.emitted, 0);
+        assert!(log.metrics.is_empty());
+    }
+
+    #[test]
+    fn level_gate_filters_by_event_level() {
+        let mut tr = Tracer::for_level(TraceLevel::Lifecycle);
+        tr.emit(SimTime::ZERO, visit_start(0));
+        tr.emit(SimTime::from_micros(5), cwnd_sample());
+        assert_eq!(tr.emitted(), 1);
+        let log = tr.finish();
+        assert_eq!(log.events.len(), 1);
+        assert!(matches!(log.events[0].event, TraceEvent::VisitStart { .. }));
+    }
+
+    #[test]
+    fn full_level_admits_everything() {
+        let mut tr = Tracer::for_level(TraceLevel::Full);
+        assert!(tr.active(TraceLevel::Lifecycle));
+        assert!(tr.active(TraceLevel::Full));
+        tr.emit(SimTime::ZERO, visit_start(0));
+        tr.emit(SimTime::from_micros(5), cwnd_sample());
+        assert_eq!(tr.finish().events.len(), 2);
+    }
+
+    #[test]
+    fn finish_reports_ring_shedding() {
+        let mut tr = Tracer::with_sink(TraceLevel::Lifecycle, Box::new(RingSink::new(1)));
+        tr.emit(SimTime::ZERO, visit_start(0));
+        tr.emit(SimTime::from_micros(1), visit_start(1));
+        let log = tr.finish();
+        assert_eq!(log.emitted, 2);
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.dropped, 1);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_has_one_line_per_event() {
+        let mut tr = Tracer::for_level(TraceLevel::Full);
+        tr.emit(SimTime::ZERO, visit_start(0));
+        tr.emit(SimTime::from_micros(1), cwnd_sample());
+        let log = tr.finish();
+        assert_eq!(log.to_jsonl().lines().count(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Where trace records go.
+//!
+//! A [`TraceSink`] receives fully-formed [`TraceRecord`]s from the
+//! recorder. The three built-ins cover the spectrum: [`NullSink`]
+//! discards everything (the zero-cost default — the recorder never even
+//! constructs events when the level is `Off`), [`MemorySink`] keeps
+//! everything for in-process consumers like the stall attributor, and
+//! [`RingSink`] keeps only the most recent `capacity` records, counting
+//! what it sheds — the "flight recorder" configuration for long runs.
+//! [`JsonlWriter`] streams each record as one JSON line to any
+//! `io::Write`, for post-mortem tooling outside the process.
+
+use std::collections::VecDeque;
+use std::io;
+
+use crate::event::TraceRecord;
+
+/// A destination for trace records.
+///
+/// Sinks must be `Send` so traced runs can still ride the parallel
+/// sweep executor. `drain` hands back whatever the sink retained (sinks
+/// that retain nothing return an empty vec) and `dropped` reports how
+/// many records the sink shed under pressure.
+pub trait TraceSink: Send {
+    /// Accept one record.
+    fn record(&mut self, rec: TraceRecord);
+
+    /// Take all retained records out of the sink, oldest first.
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+
+    /// How many records this sink has discarded (capacity, not level,
+    /// filtering — the recorder never sends events above its level).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Discards every record. The `Off` configuration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: TraceRecord) {}
+}
+
+/// Retains every record in memory, unbounded.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<TraceRecord>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// How many records are currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// A bounded ring that keeps the most recent `capacity` records and
+/// counts everything it sheds.
+#[derive(Debug)]
+pub struct RingSink {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (clamped to >= 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: TraceRecord) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(rec);
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        self.ring.drain(..).collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Streams each record as one JSON line to an `io::Write`.
+///
+/// Write errors are counted (see [`TraceSink::dropped`]) rather than
+/// propagated: tracing must never abort a run.
+#[derive(Debug)]
+pub struct JsonlWriter<W: io::Write + Send> {
+    out: W,
+    written: u64,
+    failed: u64,
+}
+
+impl<W: io::Write + Send> JsonlWriter<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> JsonlWriter<W> {
+        JsonlWriter {
+            out,
+            written: 0,
+            failed: 0,
+        }
+    }
+
+    /// How many lines were written successfully.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and recover the inner writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: io::Write + Send> TraceSink for JsonlWriter<W> {
+    fn record(&mut self, rec: TraceRecord) {
+        let line = rec.to_jsonl_line();
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.written += 1,
+            Err(_) => self.failed += 1,
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.failed
+    }
+}
+
+/// Render records to one JSONL string (one line per record, trailing
+/// newline after each). The canonical on-disk trace format.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.to_jsonl_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use spdyier_sim::SimTime;
+
+    fn rec(us: u64, visit: usize) -> TraceRecord {
+        TraceRecord {
+            t: SimTime::from_micros(us),
+            event: TraceEvent::VisitStart { visit, site: 0 },
+        }
+    }
+
+    #[test]
+    fn memory_sink_retains_in_order() {
+        let mut sink = MemorySink::new();
+        sink.record(rec(1, 0));
+        sink.record(rec(2, 1));
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].t, SimTime::from_micros(1));
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_sink_keeps_newest_and_counts_shed() {
+        let mut sink = RingSink::new(2);
+        for i in 0..5 {
+            sink.record(rec(i, i as usize));
+        }
+        assert_eq!(sink.dropped(), 3);
+        let kept = sink.drain();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].t, SimTime::from_micros(3));
+        assert_eq!(kept[1].t, SimTime::from_micros(4));
+    }
+
+    #[test]
+    fn jsonl_writer_streams_lines() {
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.record(rec(10, 0));
+        sink.record(rec(20, 1));
+        assert_eq!(sink.written(), 2);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        assert_eq!(text, to_jsonl(&[rec(10, 0), rec(20, 1)]));
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let mut sink = NullSink;
+        sink.record(rec(1, 0));
+        assert!(sink.drain().is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+}

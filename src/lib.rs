@@ -25,6 +25,7 @@
 //! | [`origin`] | origin server model (Fig. 8-calibrated latencies) |
 //! | [`proxy`] | HTTP and SPDY proxy cores + §6.1 variants |
 //! | [`workload`] | Table 1 corpus, page synthesis, visit schedules |
+//! | [`trace`] | flight recorder: typed event bus, sinks, metrics registry |
 //! | [`core`] | the assembled testbed driver and experiment configs |
 //! | [`experiments`] | regenerate every paper table/figure |
 //!
@@ -43,6 +44,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub use spdyier_browser as browser;
 pub use spdyier_cellular as cellular;
@@ -55,4 +57,5 @@ pub use spdyier_proxy as proxy;
 pub use spdyier_sim as sim;
 pub use spdyier_spdy as spdy;
 pub use spdyier_tcp as tcp;
+pub use spdyier_trace as trace;
 pub use spdyier_workload as workload;
