@@ -1,8 +1,8 @@
 //! Substrate micro-benchmarks: how fast are the building blocks the
 //! testbed is made of?
 
-use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spdyier_bytes::Payload;
 use spdyier_cellular::{Rrc3g, Rrc3gConfig};
 use spdyier_sim::{DetRng, EventQueue, SimDuration, SimTime};
 use spdyier_spdy::{Compressor, Decompressor, Role, SpdyConfig, SpdySession};
@@ -19,7 +19,7 @@ fn tcp_transfer(bytes: usize) -> usize {
     let latency = SimDuration::from_millis(10);
     let mut now = SimTime::ZERO;
     let mut wire: Vec<(SimTime, bool, spdyier_tcp::Segment)> = Vec::new();
-    c.write(Bytes::from(vec![7u8; bytes]));
+    c.write(Payload::from(vec![7u8; bytes]));
     let mut received = 0usize;
     for _ in 0..1_000_000 {
         while let Some(seg) = c.poll_transmit(now) {
@@ -29,7 +29,7 @@ fn tcp_transfer(bytes: usize) -> usize {
             wire.push((now + latency, true, seg));
         }
         while let Some(chunk) = s.read() {
-            received += chunk.len();
+            received += chunk.len() as usize;
         }
         if received >= bytes {
             return received;
@@ -92,7 +92,7 @@ fn bench_spdy(c: &mut Criterion) {
                 );
             }
             while let Some(wire) = client.poll_wire() {
-                black_box(server.on_bytes(&wire).expect("ok"));
+                black_box(server.on_bytes(wire).expect("ok"));
             }
         })
     });

@@ -1,0 +1,371 @@
+//! `payload_bench`: the data-plane benchmark harness for the zero-copy
+//! [`Payload`] rope.
+//!
+//! Runs the measurement workload twice in child processes — once with the
+//! default synthetic rope and once with `SPDYIER_MATERIALIZE_BODIES=1`
+//! (every simulated body allocated for real) — under a counting global
+//! allocator, then writes `BENCH_PR5.json` with wall-time, trace
+//! events/second, peak RSS, and the allocation ratios. The run exits
+//! nonzero if the two modes' run results diverge (the rope must be
+//! timing-invariant) or if materialized bodies do not cost at least twice
+//! the rope's data-plane allocations.
+//!
+//! ```text
+//! payload_bench [--seeds N] [--out FILE]     # default: 3 seeds, BENCH_PR5.json
+//! ```
+
+use spdyier_bytes::Payload;
+use spdyier_core::{NetworkKind, ProtocolMode};
+use spdyier_experiments::{paired_runs_on, run_schedule_traced, Executor, ExpOpts};
+use spdyier_tcp::buffer::{RecvBuffer, SendBuffer};
+use spdyier_trace::TraceLevel;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A pass-through allocator that counts every allocation (count and
+/// bytes). Deallocations are not tracked: the interesting number is how
+/// much the workload *asks for*, not the high-water mark (peak RSS covers
+/// that).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation counters sampled before/after a stage.
+#[derive(Clone, Copy)]
+struct AllocMark {
+    allocs: u64,
+    bytes: u64,
+}
+
+fn mark() -> AllocMark {
+    AllocMark {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+fn since(m: AllocMark) -> AllocMark {
+    let now = mark();
+    AllocMark {
+        allocs: now.allocs - m.allocs,
+        bytes: now.bytes - m.bytes,
+    }
+}
+
+fn fnv1a(hash: &mut u64, data: &[u8]) {
+    for &b in data {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Body bytes pushed through the data-plane stage.
+const DATAPLANE_TOTAL: u64 = 64 * 1024 * 1024;
+/// Application write granularity for the data-plane stage.
+const DATAPLANE_WRITE: u64 = 16 * 1024;
+/// Segment size for the data-plane stage (the testbed's access-path MSS).
+const DATAPLANE_MSS: u64 = 1460;
+
+/// The pure byte path, isolated: stream [`DATAPLANE_TOTAL`] body bytes
+/// through `SendBuffer` → MSS-sized segments → `RecvBuffer` reassembly.
+/// With the synthetic rope this is O(1) bookkeeping per segment; with
+/// materialized bodies every write allocates its payload. Returns the
+/// total bytes read back (a checksum against silent truncation).
+fn dataplane_stage() -> u64 {
+    let mut send = SendBuffer::new();
+    let mut recv = RecvBuffer::new(0, u64::MAX);
+    let mut seq = 0u64;
+    let mut read_back = 0u64;
+    let mut written = 0u64;
+    while written < DATAPLANE_TOTAL {
+        send.write(Payload::body(DATAPLANE_WRITE));
+        written += DATAPLANE_WRITE;
+        loop {
+            let seg = send.pull(DATAPLANE_MSS);
+            if seg.is_empty() {
+                break;
+            }
+            let len = seg.len();
+            recv.ingest(seq, seg);
+            seq += len;
+        }
+        while let Some(chunk) = recv.read() {
+            read_back += chunk.len();
+        }
+    }
+    read_back
+}
+
+/// One measured stage: wall time plus the allocations it performed.
+struct Stage {
+    wall_ms: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+fn staged<T>(f: impl FnOnce() -> T) -> (Stage, T) {
+    let m = mark();
+    let t0 = Instant::now();
+    let out = f();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let d = since(m);
+    (
+        Stage {
+            wall_ms,
+            allocs: d.allocs,
+            alloc_bytes: d.bytes,
+        },
+        out,
+    )
+}
+
+/// Child mode: run the three stages and print `key=value` lines for the
+/// parent to collect. Key names match the JSON fields the parent writes.
+fn run_child(seeds: u64) {
+    // Stage 1: the paired 3G sweep (HTTP and SPDY per seed), serial so
+    // allocation counts are not perturbed by worker-pool scheduling. The
+    // identity digest is computed outside the measured window — JSON
+    // serialization cost is not the sweep's cost.
+    let (sweep, pairs) = staged(|| {
+        paired_runs_on(
+            &Executor::new(1),
+            NetworkKind::Umts3G,
+            ExpOpts { seeds },
+            true,
+        )
+    });
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    for (http, spdy) in &pairs {
+        let a = serde_json::to_string(http).expect("serialize http run");
+        let b = serde_json::to_string(spdy).expect("serialize spdy run");
+        fnv1a(&mut digest, a.as_bytes());
+        fnv1a(&mut digest, b.as_bytes());
+    }
+
+    // Stage 2: the traced path at Full level (the flight-recorder
+    // workload), one HTTP and one SPDY run.
+    let (trace, (events, logs)) = staged(|| {
+        let mut events = 0u64;
+        let mut logs = Vec::new();
+        for protocol in [ProtocolMode::Http, ProtocolMode::spdy()] {
+            let (_result, log) =
+                run_schedule_traced(protocol, NetworkKind::Umts3G, 0, TraceLevel::Full);
+            events += log.events.len() as u64;
+            logs.push(log);
+        }
+        (events, logs)
+    });
+    let mut trace_digest = 0xCBF2_9CE4_8422_2325u64;
+    for log in &logs {
+        fnv1a(&mut trace_digest, log.to_jsonl().as_bytes());
+    }
+
+    // Stage 3: the isolated byte path (the allocation guard's subject).
+    let (dataplane, moved) = staged(dataplane_stage);
+    assert_eq!(moved, DATAPLANE_TOTAL, "data-plane stage lost bytes");
+
+    println!("sweep_wall_ms={:.3}", sweep.wall_ms);
+    println!("sweep_allocs={}", sweep.allocs);
+    println!("sweep_alloc_bytes={}", sweep.alloc_bytes);
+    println!("sweep_digest={digest:016x}");
+    println!("trace_wall_ms={:.3}", trace.wall_ms);
+    println!("trace_allocs={}", trace.allocs);
+    println!("trace_alloc_bytes={}", trace.alloc_bytes);
+    println!("trace_events={events}");
+    println!("trace_digest={trace_digest:016x}");
+    println!("dataplane_wall_ms={:.3}", dataplane.wall_ms);
+    println!("dataplane_allocs={}", dataplane.allocs);
+    println!("dataplane_alloc_bytes={}", dataplane.alloc_bytes);
+    println!("peak_rss_kb={}", peak_rss_kb());
+}
+
+/// One child run's parsed report.
+struct Report {
+    fields: Vec<(String, String)>,
+}
+
+impl Report {
+    fn get(&self, key: &str) -> &str {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("child report missing {key}"))
+    }
+
+    fn num(&self, key: &str) -> f64 {
+        self.get(key)
+            .parse()
+            .unwrap_or_else(|_| panic!("child field {key} not numeric"))
+    }
+}
+
+fn spawn_child(seeds: u64, materialize: bool) -> Report {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("child").arg(seeds.to_string());
+    if materialize {
+        cmd.env("SPDYIER_MATERIALIZE_BODIES", "1");
+    } else {
+        cmd.env_remove("SPDYIER_MATERIALIZE_BODIES");
+    }
+    let out = cmd.output().expect("spawn child");
+    assert!(
+        out.status.success(),
+        "child (materialize={materialize}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fields = String::from_utf8(out.stdout)
+        .expect("child stdout utf8")
+        .lines()
+        .filter_map(|l| {
+            l.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect();
+    Report { fields }
+}
+
+fn json_stage(r: &Report, prefix: &str) -> String {
+    let mut s = format!(
+        "{{\"wall_ms\": {}, \"allocs\": {}, \"alloc_bytes\": {}",
+        r.get(&format!("{prefix}_wall_ms")),
+        r.get(&format!("{prefix}_allocs")),
+        r.get(&format!("{prefix}_alloc_bytes")),
+    );
+    if prefix == "trace" {
+        s.push_str(&format!(", \"events\": {}", r.get("trace_events")));
+    }
+    s.push('}');
+    s
+}
+
+fn json_mode(r: &Report) -> String {
+    format!(
+        "{{\n    \"sweep\": {},\n    \"trace\": {},\n    \"dataplane\": {},\n    \"peak_rss_kb\": {}\n  }}",
+        json_stage(r, "sweep"),
+        json_stage(r, "trace"),
+        json_stage(r, "dataplane"),
+        r.get("peak_rss_kb"),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("child") {
+        let seeds = args
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .expect("child mode needs a seed count");
+        run_child(seeds);
+        return;
+    }
+
+    let mut seeds = 3u64;
+    let mut out_path = String::from("BENCH_PR5.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                seeds = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seeds needs a number");
+                i += 2;
+            }
+            "--out" => {
+                out_path = args.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: payload_bench [--seeds N] [--out FILE]");
+                panic!("unknown argument {other}");
+            }
+        }
+    }
+
+    println!("running rope mode ({seeds} seeds)...");
+    let rope = spawn_child(seeds, false);
+    println!("running materialized mode ({seeds} seeds)...");
+    let mat = spawn_child(seeds, true);
+
+    // Timing-invariance guard: the synthetic rope and real zero-filled
+    // bodies must produce identical run results and trace streams.
+    let identical = rope.get("sweep_digest") == mat.get("sweep_digest")
+        && rope.get("trace_digest") == mat.get("trace_digest");
+
+    let alloc_ratio = mat.num("dataplane_allocs") / rope.num("dataplane_allocs").max(1.0);
+    let alloc_bytes_ratio =
+        mat.num("dataplane_alloc_bytes") / rope.num("dataplane_alloc_bytes").max(1.0);
+    let events_per_sec = rope.num("trace_events") / (rope.num("trace_wall_ms") / 1e3);
+
+    let json = format!(
+        "{{\n  \"seeds\": {seeds},\n  \"dataplane_body_bytes\": {DATAPLANE_TOTAL},\n  \"rope\": {},\n  \"materialized\": {},\n  \"alloc_ratio\": {alloc_ratio:.2},\n  \"alloc_bytes_ratio\": {alloc_bytes_ratio:.2},\n  \"trace_events_per_sec\": {events_per_sec:.0},\n  \"byte_identical\": {identical}\n}}\n",
+        json_mode(&rope),
+        json_mode(&mat),
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+    println!(
+        "data plane: {:.0} allocs / {:.0} bytes (rope) vs {:.0} allocs / {:.0} bytes (materialized) \
+         => {alloc_ratio:.1}x allocs, {alloc_bytes_ratio:.1}x bytes",
+        rope.num("dataplane_allocs"),
+        rope.num("dataplane_alloc_bytes"),
+        mat.num("dataplane_allocs"),
+        mat.num("dataplane_alloc_bytes"),
+    );
+    println!(
+        "sweep {:.0} ms, trace {:.0} ms ({events_per_sec:.0} events/s), peak RSS {} kB",
+        rope.num("sweep_wall_ms"),
+        rope.num("trace_wall_ms"),
+        rope.get("peak_rss_kb"),
+    );
+
+    if !identical {
+        eprintln!("FAIL: run results diverge between rope and materialized bodies");
+        std::process::exit(1);
+    }
+    if alloc_ratio < 2.0 || alloc_bytes_ratio < 2.0 {
+        eprintln!(
+            "FAIL: rope saves less than 2x data-plane allocations \
+             ({alloc_ratio:.2}x allocs, {alloc_bytes_ratio:.2}x bytes)"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: byte-identical, >=2x fewer data-plane allocations");
+}

@@ -20,7 +20,7 @@ use crate::results::{ConnTraceResult, RunResult};
 use crate::session::{AppSession, PipeRole, SessionAction, SessionCtx, Side};
 use crate::visits::Visits;
 use crate::world::{Event, World};
-use bytes::Bytes;
+use spdyier_bytes::Payload;
 use spdyier_net::Direction;
 use spdyier_origin::{OriginConfig, OriginServers};
 use spdyier_proxy::{ClientConnId, FetchId};
@@ -221,7 +221,7 @@ impl Testbed {
 
     // ----- a-side reads (device for access pipes; proxy for origin pipes) -----
 
-    fn handle_a_read(&mut self, idx: usize, data: Bytes) {
+    fn handle_a_read(&mut self, idx: usize, data: Payload) {
         match self.world.take_role(idx) {
             PipeRole::SpdyClient { idx: sidx } => {
                 self.world.put_role(idx, PipeRole::SpdyClient { idx: sidx });
@@ -256,7 +256,7 @@ impl Testbed {
         self.visits.reschedule_browser_timer(&mut self.world);
     }
 
-    fn read_origin_bytes(&mut self, role: &mut PipeRole, data: Bytes) {
+    fn read_origin_bytes(&mut self, role: &mut PipeRole, data: Payload) {
         let PipeRole::Origin {
             http,
             current,
@@ -272,7 +272,7 @@ impl Testbed {
                 with_side!(self, side, ctx, side.on_fetch_first_byte(&mut ctx, fetch));
             }
         }
-        let done = http.on_bytes(&data).unwrap_or_default();
+        let done = http.on_bytes(data).unwrap_or_default();
         for (tag, resp) in done {
             *current = None;
             *got_first_byte = false;
@@ -288,27 +288,27 @@ impl Testbed {
 
     // ----- b-side reads (proxy for access pipes; origin server for wired pipes) -----
 
-    fn handle_b_read(&mut self, idx: usize, data: Bytes) {
+    fn handle_b_read(&mut self, idx: usize, data: Payload) {
         match self.world.take_role(idx) {
             role @ PipeRole::HttpClient { .. } => {
                 self.world.put_role(idx, role);
                 if let Side::Http(http) = &mut self.side {
                     http.proxy
-                        .on_client_bytes(ClientConnId(idx as u64), &data, self.world.now);
+                        .on_client_bytes(ClientConnId(idx as u64), data, self.world.now);
                 }
                 self.pump_session();
             }
             PipeRole::SpdyClient { idx: sidx } => {
                 self.world.put_role(idx, PipeRole::SpdyClient { idx: sidx });
                 if let Side::Spdy(spdy) = &mut self.side {
-                    spdy.on_client_bytes(sidx, &data, self.world.now);
+                    spdy.on_client_bytes(sidx, data, self.world.now);
                 }
                 self.pump_session();
             }
             mut role @ PipeRole::Origin { .. } => {
                 let mut requests = Vec::new();
                 if let PipeRole::Origin { server, .. } = &mut role {
-                    requests = server.on_bytes(&data).unwrap_or_default();
+                    requests = server.on_bytes(data).unwrap_or_default();
                 }
                 self.world.put_role(idx, role);
                 for req in requests {

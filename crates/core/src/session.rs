@@ -13,7 +13,7 @@ use crate::config::{ExperimentConfig, ProtocolMode};
 use crate::results::RunResult;
 use crate::visits::{browser_headers, Visits, BEACON_TAG};
 use crate::world::{Event, World};
-use bytes::Bytes;
+use spdyier_bytes::Payload;
 use spdyier_http::{
     Acquire, ConnectionPool, HttpClientConn, HttpServerConn, PoolConfig, PoolConnId, Request,
     Response,
@@ -131,7 +131,7 @@ pub(crate) enum SessionAction {
         /// Destination pipe index.
         pipe: usize,
         /// Encoded response bytes.
-        bytes: Bytes,
+        bytes: Payload,
         /// Fetch the bytes answer (for proxy bookkeeping on delivery).
         fetch: FetchId,
     },
@@ -200,7 +200,7 @@ impl HttpSide {
         ctx: &mut SessionCtx<'_>,
         idx: usize,
         role: &mut PipeRole,
-        data: Bytes,
+        data: Payload,
     ) {
         let PipeRole::HttpClient {
             http,
@@ -221,7 +221,7 @@ impl HttpSide {
                     .note_first_byte_tagged(ctx.world, generation, tag);
             }
         }
-        let done = http.on_bytes(&data).unwrap_or_default();
+        let done = http.on_bytes(data).unwrap_or_default();
         let pool_id = *pool_id;
         for (tag, _resp) in done {
             outstanding.pop_front();
@@ -528,8 +528,7 @@ impl HttpSide {
                 )
         });
         if let Some(idx) = target {
-            let resp =
-                Response::ok(Bytes::from(vec![0u8; size as usize])).with_header("X-Pushed", "1");
+            let resp = Response::ok(Payload::body(size)).with_header("X-Pushed", "1");
             ctx.world.pipes[idx].out_b.push_back(resp.encode());
             ctx.world.mark_dirty(idx);
         }
@@ -694,8 +693,8 @@ impl SpdySide {
 
     /// Device-side bytes arrived on a session's pipe: parse frames,
     /// record object progress, credit flow-control windows.
-    pub fn handle_client_bytes(&mut self, ctx: &mut SessionCtx<'_>, sidx: usize, data: Bytes) {
-        let events = match self.clients[sidx].session.on_bytes(&data) {
+    pub fn handle_client_bytes(&mut self, ctx: &mut SessionCtx<'_>, sidx: usize, data: Payload) {
+        let events = match self.clients[sidx].session.on_bytes(data) {
             Ok(ev) => ev,
             Err(e) => {
                 debug_assert!(false, "client session {sidx} frame error: {e}");
@@ -805,7 +804,7 @@ impl SpdySide {
     }
 
     /// Proxy-side bytes arrived from the device on session `sidx`.
-    pub fn on_client_bytes(&mut self, sidx: usize, data: &Bytes, now: SimTime) {
+    pub fn on_client_bytes(&mut self, sidx: usize, data: Payload, now: SimTime) {
         self.proxies[sidx].on_client_bytes(data, now);
         self.pending_pump.push(sidx);
     }
@@ -817,8 +816,8 @@ impl SpdySide {
         if world.pipes[pipe].closed {
             return;
         }
-        let mut staged: usize = world.pipes[pipe].out_b.iter().map(|b| b.len()).sum();
-        let space = world.pipes[pipe].b.send_space() as usize;
+        let mut staged: u64 = world.pipes[pipe].out_b.iter().map(|b| b.len()).sum();
+        let space = world.pipes[pipe].b.send_space();
         while staged < space.max(8 * 1024) {
             match self.proxies[sidx].poll_wire() {
                 Some(wire) => {
@@ -956,7 +955,7 @@ impl SpdySide {
             return;
         };
         if let Some(sidx) = (0..self.clients.len()).find(|&s| self.clients[s].usable) {
-            self.proxies[sidx].push_data("/push/refresh", Bytes::from(vec![0u8; size as usize]));
+            self.proxies[sidx].push_data("/push/refresh", Payload::body(size));
             self.pump_proxy_wire(ctx.world, sidx);
         }
     }
@@ -995,7 +994,7 @@ impl AppSession for SpdySide {
                 .filter(|&s| self.clients[s].usable)
                 .min_by_key(|&s| {
                     let pipe = self.clients[s].pipe;
-                    let staged: u64 = world.pipes[pipe].out_b.iter().map(|b| b.len() as u64).sum();
+                    let staged: u64 = world.pipes[pipe].out_b.iter().map(|b| b.len()).sum();
                     world.pipes[pipe].b.send_queue_len()
                         + world.pipes[pipe].b.bytes_in_flight()
                         + staged
@@ -1079,7 +1078,7 @@ impl Side {
 
     /// Refill callback for [`World::flush_staged`]: the SPDY proxy keeps
     /// frames unscheduled until send-buffer space exists.
-    pub fn refill(&mut self, role: &PipeRole) -> Option<Bytes> {
+    pub fn refill(&mut self, role: &PipeRole) -> Option<Payload> {
         if let (Side::Spdy(spdy), PipeRole::SpdyClient { idx }) = (self, role) {
             spdy.proxies[*idx].poll_wire()
         } else {

@@ -12,7 +12,7 @@
 use crate::config::{AccessPath, ExperimentConfig};
 use crate::results::RunResult;
 use crate::session::PipeRole;
-use bytes::Bytes;
+use spdyier_bytes::Payload;
 use spdyier_http::{HttpClientConn, HttpServerConn, Request};
 use spdyier_net::{presets as net_presets, Direction, DuplexPath, LinkVerdict};
 use spdyier_proxy::FetchId;
@@ -59,7 +59,7 @@ pub(crate) enum Event {
         /// The proxy↔origin pipe.
         pipe: usize,
         /// Encoded response bytes.
-        bytes: Bytes,
+        bytes: Payload,
     },
     /// A SPDY session's SSL setup completes.
     SslReady {
@@ -94,9 +94,9 @@ pub(crate) struct Pipe {
     /// Scheduled b-side TCP timer, if armed.
     pub b_timer: Option<EventId>,
     /// Staged application bytes awaiting TCP send-buffer space, a side.
-    pub out_a: VecDeque<Bytes>,
+    pub out_a: VecDeque<Payload>,
     /// Staged application bytes awaiting TCP send-buffer space, b side.
-    pub out_b: VecDeque<Bytes>,
+    pub out_b: VecDeque<Payload>,
     /// When the pipe was opened.
     pub opened: SimTime,
     /// Report label (`"http-3"`, `"spdy-0"`, `"origin-cdn.example"`).
@@ -272,7 +272,11 @@ impl World {
     /// When the b-side staging queue runs dry with buffer space left,
     /// `refill` is consulted (the SPDY proxy keeps frames unscheduled until
     /// the last moment so priority decisions stay late).
-    pub fn flush_staged(&mut self, idx: usize, refill: &mut dyn FnMut(&PipeRole) -> Option<Bytes>) {
+    pub fn flush_staged(
+        &mut self,
+        idx: usize,
+        refill: &mut dyn FnMut(&PipeRole) -> Option<Payload>,
+    ) {
         // a side
         loop {
             let space = self.pipes[idx].a.send_space();
@@ -282,10 +286,10 @@ impl World {
             let Some(mut front) = self.pipes[idx].out_a.pop_front() else {
                 break;
             };
-            if front.len() as u64 <= space {
+            if front.len() <= space {
                 self.pipes[idx].a.write(front);
             } else {
-                let part = front.split_to(space as usize);
+                let part = front.split_to(space);
                 self.pipes[idx].a.write(part);
                 self.pipes[idx].out_a.push_front(front);
             }
@@ -303,10 +307,10 @@ impl World {
                 }
                 break;
             };
-            if front.len() as u64 <= space {
+            if front.len() <= space {
                 self.pipes[idx].b.write(front);
             } else {
-                let part = front.split_to(space as usize);
+                let part = front.split_to(space);
                 self.pipes[idx].b.write(part);
                 self.pipes[idx].out_b.push_front(front);
             }
@@ -650,7 +654,7 @@ impl World {
         if !established {
             return;
         }
-        let mut to_write: Option<Bytes> = None;
+        let mut to_write: Option<Payload> = None;
         if let PipeRole::Origin {
             http,
             current,

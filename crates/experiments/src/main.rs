@@ -20,7 +20,9 @@ use spdyier_core::{
     attribute_stalls, export_run, stall_file, waterfall_json, write_to_dir, DataFile, NetworkKind,
     ProtocolMode, TraceLevel,
 };
-use spdyier_experiments::{run_by_id, run_schedule, run_schedule_traced, ExpOpts, ALL_EXPERIMENTS};
+use spdyier_experiments::{
+    paired_runs, run_by_id, run_schedule, run_schedule_traced, ExpOpts, ALL_EXPERIMENTS,
+};
 use std::io::Write;
 
 fn run_export(args: &[String]) -> ! {
@@ -108,12 +110,59 @@ fn run_trace(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// Run the paired sweep on one network and dump every `RunResult` as one
+/// JSON line (HTTP then SPDY per seed). The output is byte-stable for a
+/// given build, which makes it the reference artifact for the CI
+/// byte-identity guard: dump before and after a data-plane change and
+/// `cmp` the files.
+fn run_paired(args: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!("usage: experiments paired <3g|lte|wifi|3g-pinned> <FILE> [--seeds N]");
+        std::process::exit(2);
+    };
+    if args.len() < 2 {
+        usage();
+    }
+    let network = match args[0].as_str() {
+        "3g" => NetworkKind::Umts3G,
+        "lte" => NetworkKind::Lte,
+        "wifi" => NetworkKind::Wifi,
+        "3g-pinned" => NetworkKind::Umts3GPinned,
+        _ => usage(),
+    };
+    let mut opts = ExpOpts::default();
+    if let Some(i) = args.iter().position(|a| a == "--seeds") {
+        opts.seeds = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage());
+    }
+    let pairs = paired_runs(network, opts, true);
+    let mut out = String::new();
+    for (http, spdy) in &pairs {
+        out.push_str(&serde_json::to_string(http).expect("serialize http run"));
+        out.push('\n');
+        out.push_str(&serde_json::to_string(spdy).expect("serialize spdy run"));
+        out.push('\n');
+    }
+    let path = std::path::PathBuf::from(&args[1]);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create dump dir");
+        }
+    }
+    std::fs::write(&path, out).expect("write paired dump");
+    println!("wrote {} ({} pairs)", path.display(), pairs.len());
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: experiments <id|all> [--seeds N] [--json DIR]");
         eprintln!("       experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
+        eprintln!("       experiments paired <3g|lte|wifi|3g-pinned> <FILE> [--seeds N]");
         eprintln!("ids: {}", ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
@@ -122,6 +171,9 @@ fn main() {
     }
     if args[0] == "trace" {
         run_trace(&args[1..]);
+    }
+    if args[0] == "paired" {
+        run_paired(&args[1..]);
     }
     let mut opts = ExpOpts::default();
     let mut json_dir: Option<String> = None;

@@ -3,9 +3,15 @@
 //! Bytes arrive from TCP in arbitrary chunks; these parsers buffer until a
 //! complete head (`\r\n\r\n`) and `Content-Length` body are available, then
 //! yield whole messages.
+//!
+//! The buffer is a [`Payload`] rope. Heads are real bytes and small: the
+//! scan for `\r\n\r\n` walks real chunks and the head is materialized once
+//! for parsing (the control path). Bodies are never inspected — they are
+//! consumed by `Content-Length` with an O(1) rope split, so synthetic
+//! (length-only) bodies flow through without a single byte copied.
 
 use crate::message::{Request, Response};
-use bytes::{Bytes, BytesMut};
+use spdyier_bytes::{Chunk, Payload};
 
 /// Error raised on malformed input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,8 +28,33 @@ impl std::error::Error for ParseError {}
 /// Parsed start line tokens plus header pairs.
 type HeadParts<'a> = (Vec<&'a str>, Vec<(String, String)>);
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+/// Find the end of the head (`\r\n\r\n`, inclusive) in the rope's real
+/// prefix. A head never extends into synthetic data (synthetic bytes are
+/// zeros), so the scan stops at the first synthetic chunk.
+fn find_head_end(buf: &Payload) -> Option<u64> {
+    let mut pos: u64 = 0;
+    // States of the "\r\n\r\n" matcher: number of pattern bytes matched.
+    let mut matched: u8 = 0;
+    for chunk in buf.chunks() {
+        let bytes = match chunk {
+            Chunk::Real(b) => &b[..],
+            Chunk::Synthetic(_) => return None,
+        };
+        for &c in bytes {
+            matched = match (matched, c) {
+                (1, b'\n') => 2,
+                (2, b'\r') => 3,
+                (3, b'\n') => 4,
+                (_, b'\r') => 1,
+                _ => 0,
+            };
+            pos += 1;
+            if matched == 4 {
+                return Some(pos);
+            }
+        }
+    }
+    None
 }
 
 fn split_headers(head: &str) -> Result<HeadParts<'_>, ParseError> {
@@ -45,10 +76,19 @@ fn split_headers(head: &str) -> Result<HeadParts<'_>, ParseError> {
     Ok((start_parts, headers))
 }
 
+/// Split the head off the rope and materialize it (minus the trailing
+/// `\r\n\r\n`) for string parsing — the one deliberate copy on the
+/// control path.
+fn take_head(buf: &mut Payload, head_end: u64) -> Result<String, ParseError> {
+    let mut head = buf.split_to(head_end).to_vec();
+    head.truncate(head.len() - 4);
+    String::from_utf8(head).map_err(|_| ParseError("non-UTF8 head".into()))
+}
+
 /// Incremental parser for a stream of requests (server side).
 #[derive(Debug, Default)]
 pub struct RequestParser {
-    buf: BytesMut,
+    buf: Payload,
 }
 
 impl RequestParser {
@@ -57,9 +97,9 @@ impl RequestParser {
         RequestParser::default()
     }
 
-    /// Feed newly received bytes.
-    pub fn push(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data);
+    /// Feed newly received data (chunks are adopted, not copied).
+    pub fn push(&mut self, data: Payload) {
+        self.buf.append(data);
     }
 
     /// Extract the next complete request, if buffered.
@@ -67,10 +107,8 @@ impl RequestParser {
         let Some(head_end) = find_head_end(&self.buf) else {
             return Ok(None);
         };
-        let head = self.buf.split_to(head_end);
-        let head_str = std::str::from_utf8(&head[..head_end - 4])
-            .map_err(|_| ParseError("non-UTF8 head".into()))?;
-        let (start, mut headers) = split_headers(head_str)?;
+        let head_str = take_head(&mut self.buf, head_end)?;
+        let (start, mut headers) = split_headers(&head_str)?;
         if start.len() != 3 {
             return Err(ParseError(format!("bad request line: {start:?}")));
         }
@@ -103,9 +141,9 @@ impl RequestParser {
 /// Incremental parser for a stream of responses (client side).
 #[derive(Debug, Default)]
 pub struct ResponseParser {
-    buf: BytesMut,
-    /// Set once a head has been parsed; `(response-so-far, body_remaining)`.
-    pending: Option<(Response, usize)>,
+    buf: Payload,
+    /// Set once a head has been parsed; `(response-so-far, body_len)`.
+    pending: Option<(Response, u64)>,
 }
 
 impl ResponseParser {
@@ -114,13 +152,13 @@ impl ResponseParser {
         ResponseParser::default()
     }
 
-    /// Feed newly received bytes.
-    pub fn push(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data);
+    /// Feed newly received data (chunks are adopted, not copied).
+    pub fn push(&mut self, data: Payload) {
+        self.buf.append(data);
     }
 
     /// Bytes buffered but not yet consumed into a message.
-    pub fn buffered(&self) -> usize {
+    pub fn buffered(&self) -> u64 {
         self.buf.len()
     }
 
@@ -130,17 +168,15 @@ impl ResponseParser {
             let Some(head_end) = find_head_end(&self.buf) else {
                 return Ok(None);
             };
-            let head = self.buf.split_to(head_end);
-            let head_str = std::str::from_utf8(&head[..head_end - 4])
-                .map_err(|_| ParseError("non-UTF8 head".into()))?;
-            let (start, headers) = split_headers(head_str)?;
+            let head_str = take_head(&mut self.buf, head_end)?;
+            let (start, headers) = split_headers(&head_str)?;
             if start.len() < 2 {
                 return Err(ParseError(format!("bad status line: {start:?}")));
             }
             let status: u16 = start[1]
                 .parse()
                 .map_err(|_| ParseError(format!("bad status: {}", start[1])))?;
-            let body_len: usize = headers
+            let body_len: u64 = headers
                 .iter()
                 .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
                 .map(|(_, v)| {
@@ -157,7 +193,7 @@ impl ResponseParser {
                 Response {
                     status,
                     headers,
-                    body: Bytes::new(),
+                    body: Payload::new(),
                 },
                 body_len,
             ));
@@ -167,12 +203,12 @@ impl ResponseParser {
             return Ok(None);
         }
         let (mut resp, body_len) = self.pending.take().expect("checked");
-        resp.body = self.buf.split_to(body_len).freeze();
+        resp.body = self.buf.split_to(body_len);
         Ok(Some(resp))
     }
 
-    /// Bytes of body already received for the in-progress response — lets a
-    /// client observe first-byte timing.
+    /// True while a head has been parsed but its body is still arriving —
+    /// lets a client observe first-byte timing.
     pub fn in_progress(&self) -> bool {
         self.pending.is_some()
     }
@@ -182,13 +218,18 @@ impl ResponseParser {
 mod tests {
     use super::*;
     use crate::message::{Request, Response};
+    use bytes::Bytes;
+
+    fn real(data: &'static [u8]) -> Payload {
+        Payload::real(Bytes::from_static(data))
+    }
 
     #[test]
     fn request_roundtrip() {
         let req = Request::get("example.com", "/a/b?c=1").with_header("X-Id", "7");
         let wire = req.encode();
         let mut p = RequestParser::new();
-        p.push(&wire);
+        p.push(wire);
         let got = p.next_request().unwrap().expect("complete");
         assert_eq!(got.method, "GET");
         assert_eq!(got.host, "example.com");
@@ -199,10 +240,10 @@ mod tests {
 
     #[test]
     fn request_split_across_chunks() {
-        let wire = Request::get("h.example", "/x").encode();
+        let wire = Request::get("h.example", "/x").encode().to_vec();
         let mut p = RequestParser::new();
         for b in wire.chunks(3) {
-            p.push(b);
+            p.push(Payload::from(b.to_vec()));
         }
         let got = p.next_request().unwrap().expect("complete");
         assert_eq!(got.host, "h.example");
@@ -211,8 +252,8 @@ mod tests {
     #[test]
     fn multiple_pipelined_requests() {
         let mut p = RequestParser::new();
-        p.push(&Request::get("a", "/1").encode());
-        p.push(&Request::get("b", "/2").encode());
+        p.push(Request::get("a", "/1").encode());
+        p.push(Request::get("b", "/2").encode());
         assert_eq!(p.next_request().unwrap().unwrap().path, "/1");
         assert_eq!(p.next_request().unwrap().unwrap().path, "/2");
         assert!(p.next_request().unwrap().is_none());
@@ -221,7 +262,7 @@ mod tests {
     #[test]
     fn origin_form_uses_host_header() {
         let mut p = RequestParser::new();
-        p.push(b"GET /path HTTP/1.1\r\nHost: o.example\r\n\r\n");
+        p.push(real(b"GET /path HTTP/1.1\r\nHost: o.example\r\n\r\n"));
         let got = p.next_request().unwrap().unwrap();
         assert_eq!(got.host, "o.example");
         assert_eq!(got.path, "/path");
@@ -229,10 +270,10 @@ mod tests {
 
     #[test]
     fn response_roundtrip() {
-        let resp = Response::ok(Bytes::from(vec![7u8; 5000])).with_header("X-Obj", "3");
+        let resp = Response::ok(Payload::from(vec![7u8; 5000])).with_header("X-Obj", "3");
         let wire = resp.encode();
         let mut p = ResponseParser::new();
-        p.push(&wire);
+        p.push(wire);
         let got = p.next_response().unwrap().expect("complete");
         assert_eq!(got.status, 200);
         assert_eq!(got.body.len(), 5000);
@@ -240,15 +281,26 @@ mod tests {
     }
 
     #[test]
-    fn response_body_arrives_incrementally() {
-        let resp = Response::ok(Bytes::from(vec![1u8; 100]));
-        let wire = resp.encode();
+    fn synthetic_body_passes_through_without_materializing() {
+        let resp = Response::ok(Payload::synthetic(1 << 20));
         let mut p = ResponseParser::new();
-        let split = wire.len() - 40;
-        p.push(&wire[..split]);
+        p.push(resp.encode());
+        let got = p.next_response().unwrap().expect("complete");
+        assert_eq!(got.body.len(), 1 << 20);
+        assert_eq!(got.body.chunk_count(), 1, "body stayed one synthetic run");
+    }
+
+    #[test]
+    fn response_body_arrives_incrementally() {
+        let resp = Response::ok(Payload::from(vec![1u8; 100]));
+        let mut wire = resp.encode();
+        let tail = wire.split_to(wire.len() - 40);
+        // `tail` is the first part; `wire` now holds the last 40 bytes.
+        let mut p = ResponseParser::new();
+        p.push(tail);
         assert!(p.next_response().unwrap().is_none(), "body incomplete");
         assert!(p.in_progress(), "head parsed");
-        p.push(&wire[split..]);
+        p.push(wire);
         let got = p.next_response().unwrap().expect("now complete");
         assert_eq!(got.body.len(), 100);
         assert!(!p.in_progress());
@@ -257,8 +309,8 @@ mod tests {
     #[test]
     fn back_to_back_responses() {
         let mut p = ResponseParser::new();
-        p.push(&Response::ok(Bytes::from(vec![1u8; 10])).encode());
-        p.push(&Response::ok(Bytes::from(vec![2u8; 20])).encode());
+        p.push(Response::ok(Payload::from(vec![1u8; 10])).encode());
+        p.push(Response::ok(Payload::from(vec![2u8; 20])).encode());
         assert_eq!(p.next_response().unwrap().unwrap().body.len(), 10);
         assert_eq!(p.next_response().unwrap().unwrap().body.len(), 20);
         assert!(p.next_response().unwrap().is_none());
@@ -267,7 +319,9 @@ mod tests {
     #[test]
     fn empty_body_response() {
         let mut p = ResponseParser::new();
-        p.push(b"HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n");
+        p.push(real(
+            b"HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n",
+        ));
         let got = p.next_response().unwrap().unwrap();
         assert_eq!(got.status, 204);
         assert!(got.body.is_empty());
@@ -276,14 +330,29 @@ mod tests {
     #[test]
     fn malformed_status_is_an_error() {
         let mut p = ResponseParser::new();
-        p.push(b"HTTP/1.1 abc OK\r\n\r\n");
+        p.push(real(b"HTTP/1.1 abc OK\r\n\r\n"));
         assert!(p.next_response().is_err());
     }
 
     #[test]
     fn malformed_header_is_an_error() {
         let mut p = RequestParser::new();
-        p.push(b"GET / HTTP/1.1\r\nbad header line\r\n\r\n");
+        p.push(real(b"GET / HTTP/1.1\r\nbad header line\r\n\r\n"));
         assert!(p.next_request().is_err());
+    }
+
+    #[test]
+    fn head_end_scan_stops_at_synthetic_data() {
+        let mut buf = Payload::synthetic(100);
+        buf.push_bytes(Bytes::from_static(b"\r\n\r\n"));
+        assert_eq!(find_head_end(&buf), None);
+    }
+
+    #[test]
+    fn head_end_scan_spans_chunk_boundaries() {
+        let mut buf = Payload::from("HTTP/1.1 200 OK\r\n");
+        buf.push_bytes(Bytes::from_static(b"\r"));
+        buf.push_bytes(Bytes::from_static(b"\nrest"));
+        assert_eq!(find_head_end(&buf), Some(19));
     }
 }

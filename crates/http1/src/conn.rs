@@ -8,7 +8,7 @@
 
 use crate::codec::{ParseError, RequestParser, ResponseParser};
 use crate::message::{Request, Response};
-use bytes::Bytes;
+use spdyier_bytes::Payload;
 use std::collections::VecDeque;
 
 /// Client side of one persistent connection.
@@ -45,16 +45,16 @@ impl HttpClientConn {
     }
 
     /// Encode and account a request tagged `tag` (the caller writes the
-    /// returned bytes to its TCP connection).
-    pub fn send_request(&mut self, tag: u64, req: &Request) -> Bytes {
+    /// returned rope to its TCP connection).
+    pub fn send_request(&mut self, tag: u64, req: &Request) -> Payload {
         assert!(self.can_send(), "pipeline depth exceeded");
         self.outstanding.push_back(tag);
         req.encode()
     }
 
-    /// Feed bytes read from TCP; returns completed `(tag, response)` pairs
+    /// Feed data read from TCP; returns completed `(tag, response)` pairs
     /// in request order.
-    pub fn on_bytes(&mut self, data: &[u8]) -> Result<Vec<(u64, Response)>, ParseError> {
+    pub fn on_bytes(&mut self, data: Payload) -> Result<Vec<(u64, Response)>, ParseError> {
         self.parser.push(data);
         let mut done = Vec::new();
         while let Some(resp) = self.parser.next_response()? {
@@ -86,8 +86,8 @@ impl HttpServerConn {
         HttpServerConn::default()
     }
 
-    /// Feed bytes read from TCP; returns completed requests in order.
-    pub fn on_bytes(&mut self, data: &[u8]) -> Result<Vec<Request>, ParseError> {
+    /// Feed data read from TCP; returns completed requests in order.
+    pub fn on_bytes(&mut self, data: Payload) -> Result<Vec<Request>, ParseError> {
         self.parser.push(data);
         let mut out = Vec::new();
         while let Some(req) = self.parser.next_request()? {
@@ -99,7 +99,7 @@ impl HttpServerConn {
     /// Encode a response for the wire. Responses must be written in the
     /// order their requests arrived (HTTP/1.1 has no other way — the
     /// head-of-line blocking the paper contrasts with SPDY).
-    pub fn encode_response(&self, resp: &Response) -> Bytes {
+    pub fn encode_response(&self, resp: &Response) -> Payload {
         resp.encode()
     }
 }
@@ -115,11 +115,11 @@ mod tests {
         assert!(client.can_send());
         let wire = client.send_request(7, &Request::get("e.com", "/x"));
         assert!(!client.can_send(), "depth 1: now blocked");
-        let reqs = server.on_bytes(&wire).unwrap();
+        let reqs = server.on_bytes(wire).unwrap();
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].path, "/x");
-        let resp_wire = server.encode_response(&Response::ok(Bytes::from(vec![0u8; 42])));
-        let done = client.on_bytes(&resp_wire).unwrap();
+        let resp_wire = server.encode_response(&Response::ok(Payload::synthetic(42)));
+        let done = client.on_bytes(resp_wire).unwrap();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].0, 7);
         assert_eq!(done[0].1.body.len(), 42);
@@ -130,23 +130,21 @@ mod tests {
     fn pipelining_matches_fifo() {
         let mut client = HttpClientConn::with_pipelining(3);
         let mut server = HttpServerConn::new();
-        let mut wire = Vec::new();
+        let mut wire = Payload::new();
         for (tag, path) in [(1, "/a"), (2, "/b"), (3, "/c")] {
-            wire.extend_from_slice(&client.send_request(tag, &Request::get("e.com", path)));
+            wire.append(client.send_request(tag, &Request::get("e.com", path)));
         }
         assert!(!client.can_send());
-        let reqs = server.on_bytes(&wire).unwrap();
+        let reqs = server.on_bytes(wire).unwrap();
         assert_eq!(reqs.len(), 3);
         // Server answers in order with distinguishable bodies.
-        let mut resp_wire = Vec::new();
-        for n in [10usize, 20, 30] {
-            resp_wire.extend_from_slice(
-                &server.encode_response(&Response::ok(Bytes::from(vec![0u8; n]))),
-            );
+        let mut resp_wire = Payload::new();
+        for n in [10u64, 20, 30] {
+            resp_wire.append(server.encode_response(&Response::ok(Payload::synthetic(n))));
         }
-        let done = client.on_bytes(&resp_wire).unwrap();
+        let done = client.on_bytes(resp_wire).unwrap();
         let tags: Vec<u64> = done.iter().map(|(t, _)| *t).collect();
-        let lens: Vec<usize> = done.iter().map(|(_, r)| r.body.len()).collect();
+        let lens: Vec<u64> = done.iter().map(|(_, r)| r.body.len()).collect();
         assert_eq!(tags, vec![1, 2, 3]);
         assert_eq!(lens, vec![10, 20, 30]);
     }
@@ -154,7 +152,7 @@ mod tests {
     #[test]
     fn response_without_request_is_an_error() {
         let mut client = HttpClientConn::new();
-        let err = client.on_bytes(&Response::ok(Bytes::new()).encode());
+        let err = client.on_bytes(Response::ok(Payload::new()).encode());
         assert!(err.is_err());
     }
 
@@ -171,10 +169,11 @@ mod tests {
         let mut client = HttpClientConn::new();
         let mut server = HttpServerConn::new();
         let wire = client.send_request(9, &Request::get("e.com", "/big"));
-        server.on_bytes(&wire).unwrap();
-        let resp_wire = server.encode_response(&Response::ok(Bytes::from(vec![5u8; 10_000])));
+        server.on_bytes(wire).unwrap();
+        let mut resp_wire = server.encode_response(&Response::ok(Payload::synthetic(10_000)));
         let mut got = Vec::new();
-        for chunk in resp_wire.chunks(1380) {
+        while !resp_wire.is_empty() {
+            let chunk = resp_wire.split_to(1380.min(resp_wire.len()));
             got.extend(client.on_bytes(chunk).unwrap());
         }
         assert_eq!(got.len(), 1);

@@ -8,15 +8,15 @@
 //!
 //! ```
 //! use spdyier_http::{Request, HttpClientConn, HttpServerConn, Response};
-//! use bytes::Bytes;
+//! use spdyier_bytes::Payload;
 //!
 //! let mut client = HttpClientConn::new();
 //! let mut server = HttpServerConn::new();
 //! let wire = client.send_request(1, &Request::get("news.example", "/"));
-//! let reqs = server.on_bytes(&wire).unwrap();
+//! let reqs = server.on_bytes(wire).unwrap();
 //! assert_eq!(reqs[0].host, "news.example");
-//! let resp = server.encode_response(&Response::ok(Bytes::from_static(b"<html>")));
-//! let done = client.on_bytes(&resp).unwrap();
+//! let resp = server.encode_response(&Response::ok(Payload::from("<html>")));
+//! let done = client.on_bytes(resp).unwrap();
 //! assert_eq!(done[0].1.body.len(), 6);
 //! ```
 

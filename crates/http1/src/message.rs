@@ -3,8 +3,14 @@
 //! Requests use the absolute-URI form (`GET http://host/path HTTP/1.1`)
 //! because — exactly as in the paper's testbed — clients talk to a proxy,
 //! not to origins directly.
+//!
+//! Encoding produces [`Payload`] ropes: heads are always real bytes (the
+//! control path the parsers inspect), while bodies ride along as whatever
+//! chunks they already are — synthetic length-only runs in the common
+//! simulated case — without being copied into the head buffer.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{BufMut, BytesMut};
+use spdyier_bytes::Payload;
 
 /// An HTTP request line + headers (bodies are not used by the workload:
 /// page loads are GETs).
@@ -46,7 +52,7 @@ impl Request {
     }
 
     /// Encode in proxy (absolute-URI) form.
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Payload {
         let mut out = BytesMut::with_capacity(256);
         out.put_slice(self.method.as_bytes());
         out.put_slice(b" http://");
@@ -62,7 +68,7 @@ impl Request {
             out.put_slice(b"\r\n");
         }
         out.put_slice(b"\r\n");
-        out.freeze()
+        Payload::real(out.freeze())
     }
 }
 
@@ -73,17 +79,18 @@ pub struct Response {
     pub status: u16,
     /// Headers excluding `Content-Length` (added at encode time).
     pub headers: Vec<(String, String)>,
-    /// Response body.
-    pub body: Bytes,
+    /// Response body — a rope; synthetic (length-only) for simulated
+    /// objects, real bytes where content matters.
+    pub body: Payload,
 }
 
 impl Response {
     /// A 200 OK carrying `body`.
-    pub fn ok(body: Bytes) -> Response {
+    pub fn ok(body: impl Into<Payload>) -> Response {
         Response {
             status: 200,
             headers: Vec::new(),
-            body,
+            body: body.into(),
         }
     }
 
@@ -101,9 +108,10 @@ impl Response {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Wire encoding with `Content-Length` framing.
-    pub fn encode(&self) -> Bytes {
-        let mut out = BytesMut::with_capacity(128 + self.body.len());
+    /// Wire encoding with `Content-Length` framing: a real head chunk
+    /// followed by the body rope (no body copy).
+    pub fn encode(&self) -> Payload {
+        let mut out = BytesMut::with_capacity(128);
         out.put_slice(b"HTTP/1.1 ");
         out.put_slice(self.status.to_string().as_bytes());
         out.put_slice(b" ");
@@ -118,8 +126,9 @@ impl Response {
             out.put_slice(b"\r\n");
         }
         out.put_slice(b"\r\n");
-        out.put_slice(&self.body);
-        out.freeze()
+        let mut wire = Payload::real(out.freeze());
+        wire.append(self.body.clone());
+        wire
     }
 }
 
@@ -141,11 +150,12 @@ fn reason(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     #[test]
     fn request_encodes_absolute_form() {
         let r = Request::get("example.com", "/index.html").with_header("Accept", "*/*");
-        let wire = r.encode();
+        let wire = r.encode().to_vec();
         let text = std::str::from_utf8(&wire).unwrap();
         assert!(text.starts_with("GET http://example.com/index.html HTTP/1.1\r\n"));
         assert!(text.contains("Host: example.com\r\n"));
@@ -155,8 +165,8 @@ mod tests {
 
     #[test]
     fn response_encodes_content_length() {
-        let r = Response::ok(Bytes::from_static(b"hello"));
-        let wire = r.encode();
+        let r = Response::ok(Payload::real(Bytes::from_static(b"hello")));
+        let wire = r.encode().to_vec();
         let text = std::str::from_utf8(&wire).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 5\r\n"));
@@ -164,11 +174,19 @@ mod tests {
     }
 
     #[test]
+    fn response_encode_keeps_synthetic_body_synthetic() {
+        let r = Response::ok(Payload::synthetic(100_000));
+        let wire = r.encode();
+        assert_eq!(wire.chunk_count(), 2, "real head + untouched body rope");
+        assert!(wire.len() > 100_000);
+    }
+
+    #[test]
     fn header_lookup_is_case_insensitive() {
         let r = Request::get("h", "/").with_header("X-Object-Id", "42");
         assert_eq!(r.header("x-object-id"), Some("42"));
         assert_eq!(r.header("missing"), None);
-        let resp = Response::ok(Bytes::new()).with_header("X-Foo", "bar");
+        let resp = Response::ok(Payload::new()).with_header("X-Foo", "bar");
         assert_eq!(resp.header("x-foo"), Some("bar"));
     }
 

@@ -10,8 +10,8 @@
 #![warn(missing_docs)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
-use bytes::Bytes;
 use serde::Serialize;
+use spdyier_bytes::Payload;
 use spdyier_http::{Request, Response};
 use spdyier_sim::{DetRng, SimDuration};
 use spdyier_workload::{ObjectKind, WebPage};
@@ -127,7 +127,7 @@ impl OriginServers {
             Some(&(size, kind)) => {
                 self.stats.hits += 1;
                 self.stats.bytes_served += size;
-                let body = Bytes::from(vec![0u8; size as usize]);
+                let body = Payload::body(size);
                 let resp = Response::ok(body).with_header("Content-Type", content_type(kind));
                 (latency, resp)
             }
@@ -136,7 +136,7 @@ impl OriginServers {
                 let resp = Response {
                     status: 404,
                     headers: vec![("Content-Type".into(), "text/plain".into())],
-                    body: Bytes::from_static(b"not found"),
+                    body: Payload::from("not found"),
                 };
                 (latency, resp)
             }
@@ -178,7 +178,7 @@ mod tests {
         let req = Request::get(obj.domain.clone(), obj.path.clone());
         let (latency, resp) = o.handle(&req, &mut DetRng::new(2));
         assert_eq!(resp.status, 200);
-        assert_eq!(resp.body.len() as u64, obj.size);
+        assert_eq!(resp.body.len(), obj.size);
         assert!(latency <= SimDuration::from_millis(46), "first-party cap");
         assert_eq!(o.stats().hits, 1);
     }

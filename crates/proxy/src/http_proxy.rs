@@ -5,7 +5,7 @@
 //! carries one outstanding request at a time, answered in order.
 
 use crate::record::{FetchId, ProxyObjectRecord};
-use bytes::Bytes;
+use spdyier_bytes::Payload;
 use spdyier_http::{Request, RequestParser, Response};
 use spdyier_sim::SimTime;
 use std::collections::{HashMap, VecDeque};
@@ -28,8 +28,8 @@ pub enum HttpProxyOutput {
     ToClient {
         /// Destination client connection.
         conn: ClientConnId,
-        /// Wire bytes (an encoded HTTP response).
-        bytes: Bytes,
+        /// Wire data (an encoded HTTP response).
+        bytes: Payload,
         /// The fetch these bytes answer.
         fetch: FetchId,
     },
@@ -85,7 +85,7 @@ impl HttpProxyCore {
     }
 
     /// Bytes arrived from a client connection.
-    pub fn on_client_bytes(&mut self, conn: ClientConnId, data: &[u8], now: SimTime) {
+    pub fn on_client_bytes(&mut self, conn: ClientConnId, data: Payload, now: SimTime) {
         let Some(state) = self.clients.get_mut(&conn) else {
             return;
         };
@@ -207,11 +207,11 @@ mod tests {
         let mut p = HttpProxyCore::new();
         let conn = ClientConnId(1);
         p.on_client_connected(conn);
-        p.on_client_bytes(conn, &Request::get("o.example", "/x").encode(), t(10));
+        p.on_client_bytes(conn, Request::get("o.example", "/x").encode(), t(10));
         let (fetch, req) = fetch_of(p.poll_output());
         assert_eq!(req.host, "o.example");
         p.on_fetch_first_byte(fetch, t(24));
-        p.on_fetch_complete(fetch, Response::ok(Bytes::from(vec![0u8; 100])), t(28));
+        p.on_fetch_complete(fetch, Response::ok(Payload::synthetic(100)), t(28));
         match p.poll_output() {
             Some(HttpProxyOutput::ToClient {
                 conn: c,
@@ -237,15 +237,15 @@ mod tests {
         p.on_client_connected(conn);
         // Two requests on one connection (the driver wouldn't normally do
         // this without pipelining, but order must hold regardless).
-        let mut wire = Request::get("a", "/1").encode().to_vec();
-        wire.extend_from_slice(&Request::get("a", "/2").encode());
-        p.on_client_bytes(conn, &wire, t(0));
+        let mut wire = Request::get("a", "/1").encode();
+        wire.append(Request::get("a", "/2").encode());
+        p.on_client_bytes(conn, wire, t(0));
         let (f1, _) = fetch_of(p.poll_output());
         let (f2, _) = fetch_of(p.poll_output());
         // Second fetch completes first: nothing flushes yet.
-        p.on_fetch_complete(f2, Response::ok(Bytes::from_static(b"b")), t(5));
+        p.on_fetch_complete(f2, Response::ok(Payload::from("b")), t(5));
         assert!(p.poll_output().is_none(), "HOL: waiting for f1");
-        p.on_fetch_complete(f1, Response::ok(Bytes::from_static(b"a")), t(9));
+        p.on_fetch_complete(f1, Response::ok(Payload::from("a")), t(9));
         let first = match p.poll_output() {
             Some(HttpProxyOutput::ToClient { fetch, .. }) => fetch,
             other => panic!("{other:?}"),
@@ -262,12 +262,12 @@ mod tests {
         let mut p = HttpProxyCore::new();
         p.on_client_connected(ClientConnId(1));
         p.on_client_connected(ClientConnId(2));
-        p.on_client_bytes(ClientConnId(1), &Request::get("a", "/1").encode(), t(0));
-        p.on_client_bytes(ClientConnId(2), &Request::get("a", "/2").encode(), t(0));
+        p.on_client_bytes(ClientConnId(1), Request::get("a", "/1").encode(), t(0));
+        p.on_client_bytes(ClientConnId(2), Request::get("a", "/2").encode(), t(0));
         let (f1, _) = fetch_of(p.poll_output());
         let (f2, _) = fetch_of(p.poll_output());
         // Conn 2's response is not blocked by conn 1's pending fetch.
-        p.on_fetch_complete(f2, Response::ok(Bytes::new()), t(5));
+        p.on_fetch_complete(f2, Response::ok(Payload::new()), t(5));
         assert!(matches!(
             p.poll_output(),
             Some(HttpProxyOutput::ToClient {
@@ -283,10 +283,10 @@ mod tests {
         let mut p = HttpProxyCore::new();
         let conn = ClientConnId(1);
         p.on_client_connected(conn);
-        p.on_client_bytes(conn, &Request::get("a", "/1").encode(), t(0));
+        p.on_client_bytes(conn, Request::get("a", "/1").encode(), t(0));
         let (f, _) = fetch_of(p.poll_output());
         p.on_client_closed(conn);
-        p.on_fetch_complete(f, Response::ok(Bytes::new()), t(5));
+        p.on_fetch_complete(f, Response::ok(Payload::new()), t(5));
         assert!(p.poll_output().is_none(), "no output for a gone client");
     }
 
@@ -295,9 +295,9 @@ mod tests {
         let mut p = HttpProxyCore::new();
         let conn = ClientConnId(1);
         p.on_client_connected(conn);
-        p.on_client_bytes(conn, &Request::get("a", "/1").encode(), t(0));
+        p.on_client_bytes(conn, Request::get("a", "/1").encode(), t(0));
         let (f, _) = fetch_of(p.poll_output());
-        p.on_fetch_complete(f, Response::ok(Bytes::from(vec![0u8; 10])), t(5));
+        p.on_fetch_complete(f, Response::ok(Payload::synthetic(10)), t(5));
         let _ = p.poll_output();
         p.on_client_received(f, t(900));
         let rec = p.records()[0];

@@ -8,7 +8,7 @@
 //! bottleneck — emerges from exactly this structure.
 
 use crate::record::{FetchId, ProxyObjectRecord};
-use bytes::Bytes;
+use spdyier_bytes::Payload;
 use spdyier_http::{Request, Response};
 use spdyier_sim::SimTime;
 use spdyier_spdy::{Role, SpdyConfig, SpdyEvent, SpdySession};
@@ -70,7 +70,7 @@ impl SpdyProxyCore {
     }
 
     /// Bytes arrived from the client connection.
-    pub fn on_client_bytes(&mut self, data: &[u8], now: SimTime) {
+    pub fn on_client_bytes(&mut self, data: Payload, now: SimTime) {
         let events = match self.session.on_bytes(data) {
             Ok(ev) => ev,
             Err(e) => {
@@ -159,14 +159,14 @@ impl SpdyProxyCore {
 
     /// Flow-control credit from the client side is handled inside the
     /// session via `on_client_bytes`; this exposes pending wire bytes.
-    pub fn poll_wire(&mut self) -> Option<Bytes> {
+    pub fn poll_wire(&mut self) -> Option<Payload> {
         self.session.poll_wire()
     }
 
     /// Server-initiated data (SPDY server push): ad refreshes, analytics
     /// long-polls — the periodic site traffic of the paper's §5.7 that
     /// wakes an idle radio *from the proxy side*.
-    pub fn push_data(&mut self, path: &str, body: Bytes) -> u32 {
+    pub fn push_data(&mut self, path: &str, body: Payload) -> u32 {
         let headers = vec![
             (":status".to_string(), "200".to_string()),
             (":path".to_string(), path.to_string()),
@@ -180,7 +180,7 @@ impl SpdyProxyCore {
     pub fn push_with_headers(
         &mut self,
         headers: Vec<(String, String)>,
-        body: Bytes,
+        body: Payload,
         priority: u8,
     ) -> u32 {
         let stream_id = self.session.open_stream(headers, priority, false);
@@ -259,7 +259,7 @@ mod tests {
             true,
         );
         while let Some(wire) = client.poll_wire() {
-            proxy.on_client_bytes(&wire, t(0));
+            proxy.on_client_bytes(wire, t(0));
         }
         sid
     }
@@ -278,12 +278,12 @@ mod tests {
         };
         assert_eq!(proxy.stream_of(fetch), Some(sid));
         proxy.on_fetch_first_byte(fetch, t(14));
-        proxy.on_fetch_complete(fetch, Response::ok(Bytes::from(vec![0u8; 9_000])), t(18));
+        proxy.on_fetch_complete(fetch, Response::ok(Payload::synthetic(9_000)), t(18));
         // Drain proxy wire to client; count delivered payload.
-        let mut body = 0usize;
+        let mut body = 0u64;
         let mut replied = false;
         while let Some(wire) = proxy.poll_wire() {
-            for ev in client.on_bytes(&wire).unwrap() {
+            for ev in client.on_bytes(wire).unwrap() {
                 match ev {
                     SpdyEvent::Reply { stream_id, .. } => {
                         assert_eq!(stream_id, sid);
@@ -314,11 +314,11 @@ mod tests {
             _ => panic!(),
         };
         // Low-priority response ready first.
-        proxy.on_fetch_complete(f_low, Response::ok(Bytes::from(vec![1u8; 30_000])), t(5));
-        proxy.on_fetch_complete(f_high, Response::ok(Bytes::from(vec![2u8; 30_000])), t(6));
+        proxy.on_fetch_complete(f_low, Response::ok(Payload::synthetic(30_000)), t(5));
+        proxy.on_fetch_complete(f_high, Response::ok(Payload::synthetic(30_000)), t(6));
         let mut finish_order = Vec::new();
         while let Some(wire) = proxy.poll_wire() {
-            for ev in client.on_bytes(&wire).unwrap() {
+            for ev in client.on_bytes(wire).unwrap() {
                 if let SpdyEvent::Data {
                     stream_id,
                     fin: true,
@@ -349,13 +349,13 @@ mod tests {
             Response {
                 status: 204,
                 headers: vec![],
-                body: Bytes::new(),
+                body: Payload::new(),
             },
             t(5),
         );
         let mut got_fin_reply = false;
         while let Some(wire) = proxy.poll_wire() {
-            for ev in client.on_bytes(&wire).unwrap() {
+            for ev in client.on_bytes(wire).unwrap() {
                 if let SpdyEvent::Reply {
                     stream_id,
                     fin: true,
@@ -376,12 +376,12 @@ mod tests {
         let (mut client, mut proxy) = client_and_proxy();
         client.ping(1);
         while let Some(wire) = client.poll_wire() {
-            proxy.on_client_bytes(&wire, t(0));
+            proxy.on_client_bytes(wire, t(0));
         }
         assert_eq!(proxy.pings_seen(), 1);
         let mut echoed = false;
         while let Some(wire) = proxy.poll_wire() {
-            for ev in client.on_bytes(&wire).unwrap() {
+            for ev in client.on_bytes(wire).unwrap() {
                 if matches!(ev, SpdyEvent::Ping(1)) {
                     echoed = true;
                 }
@@ -393,12 +393,12 @@ mod tests {
     #[test]
     fn push_data_opens_even_stream_and_delivers() {
         let (mut client, mut proxy) = client_and_proxy();
-        let sid = proxy.push_data("/refresh", Bytes::from(vec![5u8; 3_000]));
+        let sid = proxy.push_data("/refresh", Payload::synthetic(3_000));
         assert_eq!(sid % 2, 0, "server-initiated streams are even");
         let mut opened = false;
-        let mut bytes = 0usize;
+        let mut bytes = 0u64;
         while let Some(wire) = proxy.poll_wire() {
-            for ev in client.on_bytes(&wire).unwrap() {
+            for ev in client.on_bytes(wire).unwrap() {
                 match ev {
                     SpdyEvent::StreamOpened {
                         stream_id, headers, ..
@@ -424,10 +424,10 @@ mod tests {
             ("x-late-gen".to_string(), "3".to_string()),
             ("x-late-tag".to_string(), "17".to_string()),
         ];
-        proxy.push_with_headers(headers, Bytes::from_static(b"body"), 2);
+        proxy.push_with_headers(headers, Payload::from("body"), 2);
         let mut seen = false;
         while let Some(wire) = proxy.poll_wire() {
-            for ev in client.on_bytes(&wire).unwrap() {
+            for ev in client.on_bytes(wire).unwrap() {
                 if let SpdyEvent::StreamOpened { headers, .. } = ev {
                     assert!(headers.iter().any(|(n, v)| n == "x-late-gen" && v == "3"));
                     assert!(headers.iter().any(|(n, v)| n == "x-late-tag" && v == "17"));

@@ -4,9 +4,15 @@
 //! data frames: `0 | stream-id(31) | flags(8) | length(24)`. Header blocks
 //! inside SYN_STREAM / SYN_REPLY are compressed with the session's
 //! [`crate::compress`] codec (stateful, like SPDY's session zlib stream).
+//!
+//! Frames encode to [`Payload`] ropes: control frames and frame headers
+//! are real bytes (the control path), while DATA bodies are appended as
+//! the rope they already are — synthetic length-only runs in the common
+//! simulated case — so segmentation and reassembly never copy them.
 
 use crate::compress::{Compressor, DecompressError, Decompressor};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spdyier_bytes::Payload;
 
 /// SPDY protocol version emitted in control frames.
 pub const SPDY_VERSION: u16 = 3;
@@ -43,8 +49,8 @@ pub enum Frame {
         stream_id: u32,
         /// Final frame of this direction.
         fin: bool,
-        /// Payload bytes.
-        payload: Bytes,
+        /// Payload rope.
+        payload: Payload,
     },
     /// Abort a stream.
     RstStream {
@@ -155,8 +161,10 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 impl Frame {
-    /// Encode to wire bytes, compressing header blocks with `comp`.
-    pub fn encode(&self, comp: &mut Compressor) -> Bytes {
+    /// Encode to a wire rope, compressing header blocks with `comp`. For
+    /// DATA frames the 8-byte header is real and the body rides along
+    /// unchanged; control frames are entirely real bytes.
+    pub fn encode(&self, comp: &mut Compressor) -> Payload {
         let mut out = BytesMut::with_capacity(64);
         match self {
             Frame::Data {
@@ -167,7 +175,9 @@ impl Frame {
                 out.put_u32(stream_id & 0x7FFF_FFFF);
                 out.put_u8(if *fin { FLAG_FIN } else { 0 });
                 put_u24(&mut out, payload.len() as u32);
-                out.put_slice(payload);
+                let mut wire = Payload::real(out.freeze());
+                wire.append(payload.clone());
+                return wire;
             }
             Frame::SynStream {
                 stream_id,
@@ -234,7 +244,7 @@ impl Frame {
                 out.put_u32(delta & 0x7FFF_FFFF);
             }
         }
-        out.freeze()
+        Payload::real(out.freeze())
     }
 }
 
@@ -252,9 +262,13 @@ fn put_u24(out: &mut BytesMut, v: u32) {
 }
 
 /// Incremental frame parser: buffers TCP chunks, yields whole frames.
+///
+/// The buffer is a [`Payload`] rope: frame headers (8 real bytes) are
+/// peeked with a bounded copy, control-frame bodies are materialized for
+/// parsing, and DATA bodies are split off as ropes without copying.
 #[derive(Debug, Default)]
 pub struct FrameParser {
-    buf: BytesMut,
+    buf: Payload,
 }
 
 impl FrameParser {
@@ -263,13 +277,13 @@ impl FrameParser {
         FrameParser::default()
     }
 
-    /// Feed bytes read from the transport.
-    pub fn push(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data);
+    /// Feed data read from the transport (chunks are adopted, not copied).
+    pub fn push(&mut self, data: Payload) {
+        self.buf.append(data);
     }
 
     /// Bytes buffered and not yet parsed.
-    pub fn buffered(&self) -> usize {
+    pub fn buffered(&self) -> u64 {
         self.buf.len()
     }
 
@@ -279,23 +293,27 @@ impl FrameParser {
         if self.buf.len() < 8 {
             return Ok(None);
         }
-        let word0 = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
-        let flags = self.buf[4];
-        let length = u32::from_be_bytes([0, self.buf[5], self.buf[6], self.buf[7]]) as usize;
+        let mut head = [0u8; 8];
+        self.buf.copy_out(0, &mut head);
+        let word0 = u32::from_be_bytes([head[0], head[1], head[2], head[3]]);
+        let flags = head[4];
+        let length = u32::from_be_bytes([0, head[5], head[6], head[7]]) as u64;
         if self.buf.len() < 8 + length {
             return Ok(None);
         }
-        let frame = self.buf.split_to(8 + length);
-        let body = &frame[8..];
+        self.buf.advance(8);
         let fin = flags & FLAG_FIN != 0;
         if word0 & 0x8000_0000 == 0 {
-            // Data frame.
+            // Data frame: the body is handed off as the rope it arrived as.
             return Ok(Some(Frame::Data {
                 stream_id: word0 & 0x7FFF_FFFF,
                 fin,
-                payload: Bytes::copy_from_slice(body),
+                payload: self.buf.split_to(length),
             }));
         }
+        // Control frame: small and real — materialize the body to parse it.
+        let body = self.buf.split_to(length).to_vec();
+        let body = &body[..];
         let frame_type = (word0 & 0xFFFF) as u16;
         let need = |n: usize| -> Result<(), FrameError> {
             if body.len() < n {
@@ -403,7 +421,7 @@ mod tests {
         let mut decomp = Decompressor::new();
         let wire = frame.encode(&mut comp);
         let mut p = FrameParser::new();
-        p.push(&wire);
+        p.push(wire);
         let got = p
             .next_frame(&mut decomp)
             .expect("parse ok")
@@ -445,9 +463,25 @@ mod tests {
         let f = Frame::Data {
             stream_id: 5,
             fin: true,
-            payload: Bytes::from(vec![0xEE; 5000]),
+            payload: Payload::from(vec![0xEE; 5000]),
         };
         assert_eq!(roundtrip(f.clone()), f);
+    }
+
+    #[test]
+    fn synthetic_data_stays_synthetic_through_parse() {
+        let f = Frame::Data {
+            stream_id: 5,
+            fin: false,
+            payload: Payload::synthetic(200_000),
+        };
+        match roundtrip(f) {
+            Frame::Data { payload, .. } => {
+                assert_eq!(payload.len(), 200_000);
+                assert_eq!(payload.chunk_count(), 1, "body was never materialized");
+            }
+            other => panic!("expected Data, got {other:?}"),
+        }
     }
 
     #[test]
@@ -479,12 +513,12 @@ mod tests {
         let f = Frame::Data {
             stream_id: 1,
             fin: false,
-            payload: Bytes::from(vec![1u8; 100]),
+            payload: Payload::from(vec![1u8; 100]),
         };
-        let wire = f.encode(&mut comp);
+        let mut wire = f.encode(&mut comp);
         let mut p = FrameParser::new();
-        for chunk in wire.chunks(7) {
-            p.push(chunk);
+        while !wire.is_empty() {
+            p.push(wire.split_to(7.min(wire.len())));
         }
         assert_eq!(p.next_frame(&mut decomp).unwrap().unwrap(), f);
     }
@@ -496,8 +530,8 @@ mod tests {
         let a = Frame::Ping(1).encode(&mut comp);
         let b = Frame::Ping(2).encode(&mut comp);
         let mut p = FrameParser::new();
-        p.push(&a);
-        p.push(&b);
+        p.push(a);
+        p.push(b);
         assert_eq!(p.next_frame(&mut decomp).unwrap(), Some(Frame::Ping(1)));
         assert_eq!(p.next_frame(&mut decomp).unwrap(), Some(Frame::Ping(2)));
         assert_eq!(p.next_frame(&mut decomp).unwrap(), None);
@@ -546,7 +580,7 @@ mod tests {
         let mut out = BytesMut::new();
         control_header(&mut out, 99, 0, 0);
         let mut p = FrameParser::new();
-        p.push(&out);
+        p.push(Payload::real(out.freeze()));
         let mut d = Decompressor::new();
         assert!(p.next_frame(&mut d).is_err());
     }

@@ -14,7 +14,7 @@
 //! let sid = client.open_stream(
 //!     vec![(":path".into(), "/".into())], /*priority*/ 0, /*fin*/ true);
 //! while let Some(wire) = client.poll_wire() {
-//!     let events = server.on_bytes(&wire).unwrap();
+//!     let events = server.on_bytes(wire).unwrap();
 //!     assert!(matches!(events[0], SpdyEvent::StreamOpened { stream_id, .. } if stream_id == sid));
 //! }
 //! ```

@@ -4,11 +4,15 @@
 //! concurrent request streams share a single TCP connection, higher
 //! priority responses pre-empt lower ones in the send queue, and several
 //! small responses may coalesce into one packet.
+//!
+//! Queued stream data is a per-stream [`Payload`] rope: slicing DATA
+//! frames off the front is chunk bookkeeping, so synthetic (length-only)
+//! bodies multiplex without being copied or materialized.
 
 use crate::compress::{Compressor, Decompressor};
 use crate::frame::{Frame, FrameError, FrameParser};
-use bytes::Bytes;
 use serde::Serialize;
+use spdyier_bytes::Payload;
 use std::collections::{HashMap, VecDeque};
 
 /// Session tunables.
@@ -68,8 +72,8 @@ pub enum SpdyEvent {
     Data {
         /// Stream carrying data.
         stream_id: u32,
-        /// Payload.
-        payload: Bytes,
+        /// Payload rope.
+        payload: Payload,
         /// Peer finished this stream.
         fin: bool,
     },
@@ -111,8 +115,8 @@ struct StreamState {
     send_window: i64,
     /// Bytes received and consumed since the last WINDOW_UPDATE we sent.
     consumed_unacked: u32,
-    send_queue: VecDeque<Bytes>,
-    queued_bytes: u64,
+    /// Queued-but-unsent stream data, as one rope.
+    send_queue: Payload,
     fin_pending: bool,
     local_closed: bool,
     remote_closed: bool,
@@ -130,7 +134,7 @@ pub struct SpdySession {
     parser: FrameParser,
     /// Encoded control frames awaiting transmission (FIFO — their header
     /// blocks were compressed in this order).
-    control_out: VecDeque<Bytes>,
+    control_out: VecDeque<Payload>,
     /// Streams with sendable data, per priority level (0 = highest).
     ready: [VecDeque<u32>; 8],
     stats: SpdyStats,
@@ -178,8 +182,7 @@ impl SpdySession {
                 priority,
                 send_window: i64::from(self.cfg.initial_window),
                 consumed_unacked: 0,
-                send_queue: VecDeque::new(),
-                queued_bytes: 0,
+                send_queue: Payload::new(),
                 fin_pending: false,
                 local_closed: fin,
                 remote_closed: false,
@@ -215,7 +218,7 @@ impl SpdySession {
     }
 
     /// Queue payload on a stream; `fin` closes our half after this data.
-    pub fn send_data(&mut self, stream_id: u32, payload: Bytes, fin: bool) {
+    pub fn send_data(&mut self, stream_id: u32, payload: Payload, fin: bool) {
         let Some(st) = self.streams.get_mut(&stream_id) else {
             return;
         };
@@ -224,10 +227,7 @@ impl SpdySession {
             "send on locally-closed stream {stream_id}"
         );
         let priority = st.priority;
-        if !payload.is_empty() {
-            st.queued_bytes += payload.len() as u64;
-            st.send_queue.push_back(payload);
-        }
+        st.send_queue.append(payload);
         if fin {
             st.fin_pending = true;
         }
@@ -278,8 +278,8 @@ impl SpdySession {
 
     /// Total bytes queued for transmission (control + data).
     pub fn pending_bytes(&self) -> u64 {
-        let control: u64 = self.control_out.iter().map(|b| b.len() as u64).sum();
-        let data: u64 = self.streams.values().map(|s| s.queued_bytes).sum();
+        let control: u64 = self.control_out.iter().map(|b| b.len()).sum();
+        let data: u64 = self.streams.values().map(|s| s.send_queue.len()).sum();
         control + data
     }
 
@@ -287,13 +287,13 @@ impl SpdySession {
     pub fn has_queued_data(&self) -> bool {
         self.streams
             .values()
-            .any(|s| s.queued_bytes > 0 || s.fin_pending)
+            .any(|s| !s.send_queue.is_empty() || s.fin_pending)
     }
 
     /// Produce the next wire bytes to write, if any. Control frames drain
     /// first (FIFO — compression order); then DATA by priority, 0 first,
     /// round-robin within a level, honouring per-stream send windows.
-    pub fn poll_wire(&mut self) -> Option<Bytes> {
+    pub fn poll_wire(&mut self) -> Option<Payload> {
         if let Some(frame) = self.control_out.pop_front() {
             self.stats.frames_sent += 1;
             return Some(frame);
@@ -337,7 +337,7 @@ impl SpdySession {
                 let wire = Frame::Data {
                     stream_id,
                     fin: true,
-                    payload: Bytes::new(),
+                    payload: Payload::new(),
                 }
                 .encode(&mut self.comp);
                 self.gc_stream(stream_id);
@@ -349,16 +349,11 @@ impl SpdySession {
             self.stats.flow_control_stalls += 1;
             return EmitOutcome::Blocked;
         }
-        let budget = (st.send_window as usize).min(self.cfg.max_data_frame);
-        let front = st.send_queue.front_mut().expect("non-empty");
-        let take = front.len().min(budget);
-        let payload = front.split_to(take);
-        if front.is_empty() {
-            st.send_queue.pop_front();
-        }
-        st.queued_bytes -= payload.len() as u64;
+        let budget = (st.send_window as u64).min(self.cfg.max_data_frame as u64);
+        let take = st.send_queue.len().min(budget);
+        let payload = st.send_queue.split_to(take);
         st.send_window -= payload.len() as i64;
-        self.stats.data_bytes_sent += payload.len() as u64;
+        self.stats.data_bytes_sent += payload.len();
         let exhausted = st.send_queue.is_empty() && !st.fin_pending;
         let fin = st.send_queue.is_empty() && st.fin_pending;
         if fin {
@@ -386,8 +381,8 @@ impl SpdySession {
         }
     }
 
-    /// Feed bytes read from the transport; returns application events.
-    pub fn on_bytes(&mut self, data: &[u8]) -> Result<Vec<SpdyEvent>, FrameError> {
+    /// Feed data read from the transport; returns application events.
+    pub fn on_bytes(&mut self, data: Payload) -> Result<Vec<SpdyEvent>, FrameError> {
         self.parser.push(data);
         let mut events = Vec::new();
         while let Some(frame) = self.parser.next_frame(&mut self.decomp)? {
@@ -405,8 +400,7 @@ impl SpdySession {
                             priority,
                             send_window: i64::from(self.cfg.initial_window),
                             consumed_unacked: 0,
-                            send_queue: VecDeque::new(),
-                            queued_bytes: 0,
+                            send_queue: Payload::new(),
                             fin_pending: false,
                             local_closed: false,
                             remote_closed: fin,
@@ -442,7 +436,7 @@ impl SpdySession {
                     fin,
                     payload,
                 } => {
-                    self.stats.data_bytes_rcvd += payload.len() as u64;
+                    self.stats.data_bytes_rcvd += payload.len();
                     if let Some(st) = self.streams.get_mut(&stream_id) {
                         if fin {
                             st.remote_closed = true;
@@ -464,7 +458,7 @@ impl SpdySession {
                 Frame::WindowUpdate { stream_id, delta } => {
                     if let Some(st) = self.streams.get_mut(&stream_id) {
                         st.send_window += i64::from(delta);
-                        if st.queued_bytes > 0 || st.fin_pending {
+                        if !st.send_queue.is_empty() || st.fin_pending {
                             let pri = st.priority as usize;
                             if !self.ready[pri].contains(&stream_id) {
                                 self.ready[pri].push_back(stream_id);
@@ -494,7 +488,7 @@ impl SpdySession {
 }
 
 enum EmitOutcome {
-    Frame(Bytes, bool),
+    Frame(Payload, bool),
     Blocked,
     Nothing,
 }
@@ -513,7 +507,7 @@ mod tests {
     fn pump(from: &mut SpdySession, to: &mut SpdySession) -> Vec<SpdyEvent> {
         let mut events = Vec::new();
         while let Some(wire) = from.poll_wire() {
-            events.extend(to.on_bytes(&wire).expect("valid frames"));
+            events.extend(to.on_bytes(wire).expect("valid frames"));
         }
         events
     }
@@ -541,9 +535,9 @@ mod tests {
             }]
         ));
         s.reply(sid, vec![(":status".into(), "200".into())], false);
-        s.send_data(sid, Bytes::from(vec![9u8; 10_000]), true);
+        s.send_data(sid, Payload::from(vec![9u8; 10_000]), true);
         let events = pump(&mut s, &mut c);
-        let mut data = 0usize;
+        let mut data = 0u64;
         let mut fin_seen = false;
         for e in &events {
             if let SpdyEvent::Data { payload, fin, .. } = e {
@@ -561,14 +555,33 @@ mod tests {
         let sid = c.open_stream(req_headers("/"), 0, true);
         pump(&mut c, &mut s);
         s.reply(sid, vec![], false);
-        s.send_data(sid, Bytes::from(vec![1u8; 20_000]), true);
+        s.send_data(sid, Payload::from(vec![1u8; 20_000]), true);
         let mut frames = 0;
         while let Some(wire) = s.poll_wire() {
             assert!(wire.len() <= 8 + 4096 + 64, "frame size bounded");
             frames += 1;
-            c.on_bytes(&wire).unwrap();
+            c.on_bytes(wire).unwrap();
         }
         assert!(frames >= 5, "20 KB at ≤4 KiB per DATA frame");
+    }
+
+    #[test]
+    fn synthetic_body_multiplexes_without_materializing() {
+        let (mut c, mut s) = pair();
+        let sid = c.open_stream(req_headers("/"), 0, true);
+        pump(&mut c, &mut s);
+        s.reply(sid, vec![], false);
+        s.send_data(sid, Payload::synthetic(20_000), true);
+        while let Some(wire) = s.poll_wire() {
+            for e in c.on_bytes(wire).unwrap() {
+                if let SpdyEvent::Data { payload, .. } = e {
+                    assert!(
+                        payload.chunk_count() <= 1,
+                        "DATA bodies stay synthetic end to end"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -580,12 +593,12 @@ mod tests {
         // Server queues big low-priority data first, then high.
         s.reply(low, vec![], false);
         s.reply(high, vec![], false);
-        s.send_data(low, Bytes::from(vec![1u8; 8_000]), true);
-        s.send_data(high, Bytes::from(vec![2u8; 8_000]), true);
+        s.send_data(low, Payload::from(vec![1u8; 8_000]), true);
+        s.send_data(high, Payload::from(vec![2u8; 8_000]), true);
         // Skip the control frames (replies).
         let mut first_data_stream = None;
         while let Some(wire) = s.poll_wire() {
-            for e in c.on_bytes(&wire).unwrap() {
+            for e in c.on_bytes(wire).unwrap() {
                 if let SpdyEvent::Data { stream_id, .. } = e {
                     if first_data_stream.is_none() {
                         first_data_stream = Some(stream_id);
@@ -604,11 +617,11 @@ mod tests {
         pump(&mut c, &mut s);
         s.reply(a, vec![], false);
         s.reply(b, vec![], false);
-        s.send_data(a, Bytes::from(vec![1u8; 12_000]), true);
-        s.send_data(b, Bytes::from(vec![2u8; 12_000]), true);
+        s.send_data(a, Payload::from(vec![1u8; 12_000]), true);
+        s.send_data(b, Payload::from(vec![2u8; 12_000]), true);
         let mut order = Vec::new();
         while let Some(wire) = s.poll_wire() {
-            for e in c.on_bytes(&wire).unwrap() {
+            for e in c.on_bytes(wire).unwrap() {
                 if let SpdyEvent::Data { stream_id, .. } = e {
                     order.push(stream_id);
                 }
@@ -632,11 +645,11 @@ mod tests {
         let sid = c.open_stream(req_headers("/"), 0, true);
         pump(&mut c, &mut s);
         s.reply(sid, vec![], false);
-        s.send_data(sid, Bytes::from(vec![3u8; 10_000]), true);
+        s.send_data(sid, Payload::from(vec![3u8; 10_000]), true);
         // Drain: only 4096 bytes may fly before the window empties.
-        let mut delivered = 0usize;
+        let mut delivered = 0u64;
         while let Some(wire) = s.poll_wire() {
-            for e in c.on_bytes(&wire).unwrap() {
+            for e in c.on_bytes(wire).unwrap() {
                 if let SpdyEvent::Data { payload, .. } = e {
                     delivered += payload.len();
                 }
@@ -648,9 +661,9 @@ mod tests {
         c.consume(sid, 4096);
         let more = pump(&mut c, &mut s); // delivers WINDOW_UPDATE
         assert!(more.is_empty());
-        let mut delivered2 = 0usize;
+        let mut delivered2 = 0u64;
         while let Some(wire) = s.poll_wire() {
-            for e in c.on_bytes(&wire).unwrap() {
+            for e in c.on_bytes(wire).unwrap() {
                 if let SpdyEvent::Data { payload, .. } = e {
                     delivered2 += payload.len();
                 }
@@ -693,7 +706,7 @@ mod tests {
         assert_eq!(events.len(), 100);
         for (i, sid) in ids.iter().enumerate() {
             s.reply(*sid, vec![], false);
-            s.send_data(*sid, Bytes::from(vec![i as u8; 500]), true);
+            s.send_data(*sid, Payload::from(vec![i as u8; 500]), true);
         }
         let events = pump(&mut s, &mut c);
         let done = events

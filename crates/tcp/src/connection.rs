@@ -14,7 +14,7 @@ use crate::metrics_cache::CachedMetrics;
 use crate::rtt::RttEstimator;
 use crate::segment::{SegFlags, Segment};
 use crate::trace::{TcpStats, TcpTrace};
-use bytes::Bytes;
+use spdyier_bytes::Payload;
 use spdyier_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -49,7 +49,7 @@ pub enum TcpState {
 #[derive(Debug, Clone)]
 struct SentSegment {
     seq: u64,
-    payload: Bytes,
+    payload: Payload,
     syn: bool,
     fin: bool,
     time_sent: SimTime,
@@ -58,7 +58,7 @@ struct SentSegment {
 
 impl SentSegment {
     fn seq_space(&self) -> u64 {
-        self.payload.len() as u64 + u64::from(self.syn) + u64::from(self.fin)
+        self.payload.len() + u64::from(self.syn) + u64::from(self.fin)
     }
     fn seq_end(&self) -> u64 {
         self.seq + self.seq_space()
@@ -311,7 +311,7 @@ impl TcpConnection {
     }
 
     /// Queue application data for transmission.
-    pub fn write(&mut self, data: Bytes) {
+    pub fn write(&mut self, data: Payload) {
         debug_assert!(
             matches!(
                 self.state,
@@ -324,7 +324,7 @@ impl TcpConnection {
     }
 
     /// Read the next chunk of in-order received data.
-    pub fn read(&mut self) -> Option<Bytes> {
+    pub fn read(&mut self) -> Option<Payload> {
         self.recv.as_mut()?.read()
     }
 
@@ -505,9 +505,9 @@ impl TcpConnection {
         // Partial ACK into the middle of the front segment: trim it.
         if let Some(front) = self.rtx_queue.front_mut() {
             if front.seq < ack {
-                let trim = (ack - front.seq) as usize;
+                let trim = ack - front.seq;
                 if trim <= front.payload.len() {
-                    let _ = front.payload.split_to(trim);
+                    front.payload.advance(trim);
                     front.seq = ack;
                 }
             }
@@ -592,7 +592,7 @@ impl TcpConnection {
             self.dsack_pending = true;
         }
         if advanced {
-            self.stats.bytes_rcvd += seg.payload.len() as u64; // approximation: counts the advancing segment
+            self.stats.bytes_rcvd += seg.payload.len(); // approximation: counts the advancing segment
         }
         if !advanced || recv.has_ooo() {
             // Out-of-order or duplicate: owe one immediate (duplicate) ACK
@@ -723,7 +723,7 @@ impl TcpConnection {
             self.snd_nxt = 1;
             self.rtx_queue.push_back(SentSegment {
                 seq: 0,
-                payload: Bytes::new(),
+                payload: Payload::new(),
                 syn: true,
                 fin: false,
                 time_sent: now,
@@ -734,7 +734,7 @@ impl TcpConnection {
                 ack: 0,
                 flags: SegFlags::SYN,
                 wnd: self.cfg.recv_buffer,
-                payload: Bytes::new(),
+                payload: Payload::new(),
                 retransmit: false,
                 dsack: false,
             });
@@ -744,7 +744,7 @@ impl TcpConnection {
             self.snd_nxt = 1;
             self.rtx_queue.push_back(SentSegment {
                 seq: 0,
-                payload: Bytes::new(),
+                payload: Payload::new(),
                 syn: true,
                 fin: false,
                 time_sent: now,
@@ -755,7 +755,7 @@ impl TcpConnection {
                 ack: self.ack_value(),
                 flags: SegFlags::SYN_ACK,
                 wnd: self.recv_window(),
-                payload: Bytes::new(),
+                payload: Payload::new(),
                 retransmit: false,
                 dsack: false,
             });
@@ -772,7 +772,7 @@ impl TcpConnection {
         entry.time_sent = now;
         self.last_rtx_end = Some(entry.seq_end());
         self.stats.retransmissions += 1;
-        self.stats.bytes_retransmitted += entry.payload.len() as u64;
+        self.stats.bytes_retransmitted += entry.payload.len();
         if let Some(tr) = self.trace.as_deref_mut() {
             tr.retransmits.mark(now);
         }
@@ -861,8 +861,8 @@ impl TcpConnection {
     fn emit_data_segment(&mut self, now: SimTime, chunk: u64) -> Segment {
         let payload = self.send_buf.pull(chunk);
         let seq = self.snd_nxt;
-        self.snd_nxt += payload.len() as u64;
-        self.stats.bytes_sent += payload.len() as u64;
+        self.snd_nxt += payload.len();
+        self.stats.bytes_sent += payload.len();
         self.rtx_queue.push_back(SentSegment {
             seq,
             payload: payload.clone(),
@@ -902,7 +902,7 @@ impl TcpConnection {
         };
         self.rtx_queue.push_back(SentSegment {
             seq,
-            payload: Bytes::new(),
+            payload: Payload::new(),
             syn: false,
             fin: true,
             time_sent: now,
@@ -913,7 +913,7 @@ impl TcpConnection {
             ack: self.ack_value(),
             flags: SegFlags::FIN_ACK,
             wnd: self.recv_window(),
-            payload: Bytes::new(),
+            payload: Payload::new(),
             retransmit: false,
             dsack: false,
         })
@@ -925,7 +925,7 @@ impl TcpConnection {
             ack: self.ack_value(),
             flags: SegFlags::ACK,
             wnd: self.recv_window(),
-            payload: Bytes::new(),
+            payload: Payload::new(),
             retransmit: false,
             dsack: false,
         }
@@ -1056,10 +1056,10 @@ mod tests {
                 wire.push((now + latency, true, seg));
             }
             while let Some(chunk) = a.read() {
-                a_rx.extend_from_slice(&chunk);
+                a_rx.extend(chunk.to_vec());
             }
             while let Some(chunk) = b.read() {
-                b_rx.extend_from_slice(&chunk);
+                b_rx.extend(chunk.to_vec());
             }
             // Next event: wire delivery or timer.
             let next_wire = wire.iter().map(|(at, _, _)| *at).min();
@@ -1123,7 +1123,7 @@ mod tests {
     #[test]
     fn data_transfer_small() {
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from_static(b"hello, tcp!"));
+        c.write(Payload::from("hello, tcp!"));
         let (_, _, got) = converse_rx(&mut c, &mut s, now, SimDuration::from_millis(50));
         assert_eq!(&got[..], b"hello, tcp!");
         assert!(s.read().is_none());
@@ -1133,7 +1133,7 @@ mod tests {
     fn bulk_transfer_segments_at_mss() {
         let (mut c, mut s, now) = handshake();
         let payload = vec![0xAB_u8; 100_000];
-        c.write(Bytes::from(payload.clone()));
+        c.write(Payload::from(payload.clone()));
         let (_, _, got) = converse_rx(&mut c, &mut s, now, SimDuration::from_millis(50));
         assert_eq!(got, payload);
         assert_eq!(c.stats().retransmissions, 0, "lossless pipe");
@@ -1144,8 +1144,8 @@ mod tests {
     #[test]
     fn bidirectional_transfer() {
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from(vec![1u8; 30_000]));
-        s.write(Bytes::from(vec![2u8; 30_000]));
+        c.write(Payload::from(vec![1u8; 30_000]));
+        s.write(Payload::from(vec![2u8; 30_000]));
         let (_, c_rx, s_rx) = converse_rx(&mut c, &mut s, now, SimDuration::from_millis(50));
         assert_eq!(s_rx.len(), 30_000);
         assert_eq!(c_rx.len(), 30_000);
@@ -1156,7 +1156,7 @@ mod tests {
     #[test]
     fn graceful_close_both_sides() {
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from_static(b"bye"));
+        c.write(Payload::from("bye"));
         c.close(now);
         let (now, _, s_rx) = converse_rx(&mut c, &mut s, now, SimDuration::from_millis(50));
         assert!(s.peer_closed());
@@ -1171,7 +1171,7 @@ mod tests {
     fn cwnd_grows_during_bulk_transfer() {
         let (mut c, mut s, now) = handshake();
         let initial = c.cwnd();
-        c.write(Bytes::from(vec![0u8; 500_000]));
+        c.write(Payload::from(vec![0u8; 500_000]));
         converse(&mut c, &mut s, now, SimDuration::from_millis(50));
         assert!(c.cwnd() > initial, "slow start grew the window");
     }
@@ -1179,7 +1179,7 @@ mod tests {
     #[test]
     fn rto_fires_when_peer_vanishes() {
         let (mut c, _s, now) = handshake();
-        c.write(Bytes::from(vec![0u8; 1380]));
+        c.write(Payload::from(vec![0u8; 1380]));
         let seg = c.poll_transmit(now).expect("one segment");
         assert!(!seg.retransmit);
         // Peer never answers. Walk the timers.
@@ -1207,7 +1207,7 @@ mod tests {
     #[test]
     fn fast_retransmit_on_triple_dupack() {
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from(vec![7u8; 1380 * 8]));
+        c.write(Payload::from(vec![7u8; 1380 * 8]));
         // Pull all segments; drop the first, deliver the rest.
         let mut segs = Vec::new();
         while let Some(seg) = c.poll_transmit(now) {
@@ -1240,7 +1240,7 @@ mod tests {
         assert_eq!(c.stats().timeouts, 0, "no RTO needed");
         // Deliver it; receiver assembles everything.
         s.on_segment(now, rtx);
-        let total: usize = std::iter::from_fn(|| s.read()).map(|b| b.len()).sum();
+        let total: u64 = std::iter::from_fn(|| s.read()).map(|b| b.len()).sum();
         assert_eq!(total, 1380 * 8);
     }
 
@@ -1248,7 +1248,7 @@ mod tests {
     fn idle_restart_collapses_cwnd_but_keeps_rto_tight() {
         // The paper's core pathology, §5.5.1.
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from(vec![0u8; 300_000]));
+        c.write(Payload::from(vec![0u8; 300_000]));
         let now = converse(&mut c, &mut s, now, SimDuration::from_millis(50));
         let grown = c.cwnd();
         assert!(grown > c.cfg.initial_cwnd());
@@ -1256,7 +1256,7 @@ mod tests {
         assert!(tight_rto < SimDuration::from_millis(600));
         // Go idle for 10 s, then send again.
         let later = now + SimDuration::from_secs(10);
-        c.write(Bytes::from(vec![0u8; 1380]));
+        c.write(Payload::from(vec![0u8; 1380]));
         let _seg = c.poll_transmit(later).expect("post-idle segment");
         assert_eq!(c.cwnd(), c.cfg.initial_cwnd(), "cwnd collapsed to IW");
         assert_eq!(c.stats().idle_restarts, 1);
@@ -1273,11 +1273,11 @@ mod tests {
         let mut s = TcpConnection::server(cfg());
         c.connect(SimTime::ZERO);
         let now = converse(&mut c, &mut s, SimTime::ZERO, SimDuration::from_millis(50));
-        c.write(Bytes::from(vec![0u8; 100_000]));
+        c.write(Payload::from(vec![0u8; 100_000]));
         let now = converse(&mut c, &mut s, now, SimDuration::from_millis(50));
         assert!(c.rto() < SimDuration::from_millis(600));
         let later = now + SimDuration::from_secs(10);
-        c.write(Bytes::from(vec![0u8; 1380]));
+        c.write(Payload::from(vec![0u8; 1380]));
         let _ = c.poll_transmit(later);
         assert_eq!(
             c.rto(),
@@ -1295,11 +1295,11 @@ mod tests {
         let mut s = TcpConnection::server(cfg());
         c.connect(SimTime::ZERO);
         let now = converse(&mut c, &mut s, SimTime::ZERO, SimDuration::from_millis(50));
-        c.write(Bytes::from(vec![0u8; 300_000]));
+        c.write(Payload::from(vec![0u8; 300_000]));
         let now = converse(&mut c, &mut s, now, SimDuration::from_millis(50));
         let grown = c.cwnd();
         let later = now + SimDuration::from_secs(10);
-        c.write(Bytes::from(vec![0u8; 1380]));
+        c.write(Payload::from(vec![0u8; 1380]));
         let _ = c.poll_transmit(later);
         assert_eq!(c.cwnd(), grown, "window preserved across idle");
         assert_eq!(c.stats().idle_restarts, 0);
@@ -1311,11 +1311,11 @@ mod tests {
         // peer receives everything, but its ACKs arrive after our RTO.
         let (mut c, mut s, now) = handshake();
         // Converge the RTT estimate.
-        c.write(Bytes::from(vec![0u8; 100_000]));
+        c.write(Payload::from(vec![0u8; 100_000]));
         let now = converse(&mut c, &mut s, now, SimDuration::from_millis(50));
         // Idle 10 s (device demotes to IDLE in the real network).
         let later = now + SimDuration::from_secs(10);
-        c.write(Bytes::from(vec![0u8; 1380 * 2]));
+        c.write(Payload::from(vec![0u8; 1380 * 2]));
         let mut inflight = Vec::new();
         while let Some(seg) = c.poll_transmit(later) {
             inflight.push(seg);
@@ -1348,7 +1348,7 @@ mod tests {
     #[test]
     fn delayed_ack_fires_on_timer() {
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from(vec![0u8; 100]));
+        c.write(Payload::from(vec![0u8; 100]));
         let seg = c.poll_transmit(now).unwrap();
         s.on_segment(now, seg);
         // One small segment: no immediate ACK...
@@ -1363,7 +1363,7 @@ mod tests {
     #[test]
     fn second_segment_acks_immediately() {
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from(vec![0u8; 1380 * 2]));
+        c.write(Payload::from(vec![0u8; 1380 * 2]));
         let s1 = c.poll_transmit(now).unwrap();
         let s2 = c.poll_transmit(now).unwrap();
         let expected_ack = s2.seq + s2.len();
@@ -1381,7 +1381,7 @@ mod tests {
         let mut s = TcpConnection::server(small);
         c.connect(SimTime::ZERO);
         let now = converse(&mut c, &mut s, SimTime::ZERO, SimDuration::from_millis(50));
-        c.write(Bytes::from(vec![0u8; 100_000]));
+        c.write(Payload::from(vec![0u8; 100_000]));
         // Drive manually without reading at the server: sender must stall.
         let mut wire: Vec<Segment> = Vec::new();
         let mut moved = 0u64;
@@ -1411,7 +1411,7 @@ mod tests {
     #[test]
     fn trace_records_window_dynamics() {
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from(vec![0u8; 200_000]));
+        c.write(Payload::from(vec![0u8; 200_000]));
         converse(&mut c, &mut s, now, SimDuration::from_millis(50));
         let trace = c.trace().expect("tracing enabled");
         assert!(!trace.cwnd_segments.is_empty());
@@ -1422,7 +1422,7 @@ mod tests {
     #[test]
     fn metrics_snapshot_roundtrip() {
         let (mut c, mut s, now) = handshake();
-        c.write(Bytes::from(vec![0u8; 50_000]));
+        c.write(Payload::from(vec![0u8; 50_000]));
         converse(&mut c, &mut s, now, SimDuration::from_millis(50));
         let m = c.snapshot_metrics().expect("sampled RTT");
         assert!(m.srtt >= SimDuration::from_millis(90));
@@ -1458,11 +1458,11 @@ mod tests {
         c.connect(SimTime::ZERO);
         let now = converse(&mut c, &mut s, SimTime::ZERO, SimDuration::from_millis(50));
         // First small write goes out immediately (nothing outstanding).
-        c.write(Bytes::from_static(b"first"));
+        c.write(Payload::from("first"));
         let seg1 = c.poll_transmit(now).expect("first small segment sent");
         assert_eq!(seg1.len(), 5);
         // Second small write must wait for the ACK.
-        c.write(Bytes::from_static(b"second"));
+        c.write(Payload::from("second"));
         assert!(c.poll_transmit(now).is_none(), "Nagle holds the tinygram");
         // Deliver and ACK the first; the second flushes.
         s.on_segment(now + SimDuration::from_millis(50), seg1);
@@ -1485,7 +1485,7 @@ mod tests {
         let mut s = TcpConnection::server(cfg());
         c.connect(SimTime::ZERO);
         let now = converse(&mut c, &mut s, SimTime::ZERO, SimDuration::from_millis(50));
-        c.write(Bytes::from(vec![0u8; 1380 * 3]));
+        c.write(Payload::from(vec![0u8; 1380 * 3]));
         let mut sent = 0;
         while let Some(seg) = c.poll_transmit(now) {
             assert_eq!(seg.len(), 1380, "full MSS segments flow freely");
@@ -1497,9 +1497,9 @@ mod tests {
     #[test]
     fn nodelay_default_sends_tinygrams_back_to_back() {
         let (mut c, _s, now) = handshake();
-        c.write(Bytes::from_static(b"a"));
+        c.write(Payload::from("a"));
         assert!(c.poll_transmit(now).is_some());
-        c.write(Bytes::from_static(b"b"));
+        c.write(Payload::from("b"));
         assert!(
             c.poll_transmit(now).is_some(),
             "TCP_NODELAY (the browser default) sends immediately"
@@ -1513,7 +1513,7 @@ mod tests {
             let mut s = TcpConnection::server(cfg());
             c.connect(SimTime::ZERO);
             let now = converse(&mut c, &mut s, SimTime::ZERO, SimDuration::from_millis(30));
-            c.write(Bytes::from(vec![9u8; 250_000]));
+            c.write(Payload::from(vec![9u8; 250_000]));
             let (_, _, s_rx) = converse_rx(&mut c, &mut s, now, SimDuration::from_millis(30));
             assert_eq!(s_rx.len(), 250_000, "{algo:?}");
         }
@@ -1532,7 +1532,7 @@ mod undo_tests {
     /// plus its pre-collapse window state.
     fn spurious_episode(rto_fires: usize) -> (TcpConnection, u64, u64) {
         let (mut c, mut s, now) = handshake_pair();
-        c.write(Bytes::from(vec![0u8; 200_000]));
+        c.write(Payload::from(vec![0u8; 200_000]));
         let now = converse_pair(&mut c, &mut s, now, SimDuration::from_millis(50));
         // Give the episode a finite prior ssthresh (as a connection that
         // has seen loss, or was cache-seeded, would have).
@@ -1545,7 +1545,7 @@ mod undo_tests {
         let grown_ssthresh = c.ssthresh();
         assert_eq!(grown_ssthresh, 80 * 1380);
         let later = now + SimDuration::from_secs(10);
-        c.write(Bytes::from(vec![0u8; 1380 * 2]));
+        c.write(Payload::from(vec![0u8; 1380 * 2]));
         let mut inflight = Vec::new();
         while let Some(seg) = c.poll_transmit(later) {
             inflight.push(seg);

@@ -26,7 +26,7 @@
 //! ```
 //! use spdyier_tcp::{TcpConnection, TcpConfig};
 //! use spdyier_sim::SimTime;
-//! use bytes::Bytes;
+//! use spdyier_bytes::Payload;
 //!
 //! let mut client = TcpConnection::client(TcpConfig::default());
 //! let mut server = TcpConnection::server(TcpConfig::default());
@@ -36,7 +36,7 @@
 //! let syn_ack = server.poll_transmit(SimTime::from_millis(50)).unwrap();
 //! client.on_segment(SimTime::from_millis(100), syn_ack);
 //! assert!(client.is_established());
-//! client.write(Bytes::from_static(b"GET / HTTP/1.1\r\n\r\n"));
+//! client.write(Payload::from("GET / HTTP/1.1\r\n\r\n"));
 //! ```
 
 #![warn(missing_docs)]

@@ -1,6 +1,6 @@
 //! TCP segments as they travel across the simulated network.
 
-use bytes::Bytes;
+use spdyier_bytes::Payload;
 
 /// TCP header flags (the subset the testbed uses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,7 +67,7 @@ pub struct Segment {
     /// Advertised receive window, bytes.
     pub wnd: u64,
     /// Payload.
-    pub payload: Bytes,
+    pub payload: Payload,
     /// True if this segment is a retransmission (diagnostic only — real
     /// TCP infers this; the testbed records it for the analyzer).
     pub retransmit: bool,
@@ -80,7 +80,7 @@ pub struct Segment {
 impl Segment {
     /// Payload length in bytes.
     pub fn len(&self) -> u64 {
-        self.payload.len() as u64
+        self.payload.len()
     }
 
     /// True when the segment carries no payload.
@@ -109,13 +109,13 @@ impl Segment {
 mod tests {
     use super::*;
 
-    fn data(seq: u64, n: usize) -> Segment {
+    fn data(seq: u64, n: u64) -> Segment {
         Segment {
             seq,
             ack: 0,
             flags: SegFlags::ACK,
             wnd: 65535,
-            payload: Bytes::from(vec![0u8; n]),
+            payload: Payload::synthetic(n),
             retransmit: false,
             dsack: false,
         }
@@ -136,7 +136,7 @@ mod tests {
             ack: 0,
             flags: SegFlags::SYN,
             wnd: 65535,
-            payload: Bytes::new(),
+            payload: Payload::new(),
             retransmit: false,
             dsack: false,
         };

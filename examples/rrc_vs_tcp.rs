@@ -9,9 +9,9 @@
 //! cargo run --release --example rrc_vs_tcp
 //! ```
 
-use bytes::Bytes;
 use spdyier::cellular::{Rrc3g, Rrc3gConfig};
 use spdyier::net::{Link, LinkConfig, LinkVerdict};
+use spdyier::payload::Payload;
 use spdyier::sim::{DetRng, SimDuration, SimTime};
 use spdyier::tcp::{Segment, TcpConfig, TcpConnection};
 
@@ -32,7 +32,7 @@ fn episode(reset_rtt_after_idle: bool) -> (u64, u64) {
     let mut wire: Vec<(SimTime, bool, Segment)> = Vec::new();
     sender.connect(now);
     // Phase 1: transfer 200 KB to converge the RTT estimate (radio active).
-    sender.write(Bytes::from(vec![0u8; 200_000]));
+    sender.write(Payload::synthetic(200_000));
     // Phase 2 trigger: after 30 s idle (radio demoted to IDLE), send again.
     let mut phase2_sent = false;
     let mut phase1_stats = (0u64, 0u64);
@@ -82,7 +82,7 @@ fn episode(reset_rtt_after_idle: bool) -> (u64, u64) {
                 );
                 let s = sender.stats();
                 phase1_stats = (s.retransmissions, s.timeouts);
-                sender.write(Bytes::from(vec![0u8; 4 * 1380]));
+                sender.write(Payload::synthetic(4 * 1380));
                 phase2_sent = true;
                 continue;
             }

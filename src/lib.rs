@@ -16,6 +16,7 @@
 //! | crate | role |
 //! |---|---|
 //! | [`sim`] | discrete-event engine: time, event queue, RNG, statistics |
+//! | [`payload`] | the zero-copy [`payload::Payload`] rope the data plane rides on |
 //! | [`net`] | links: serialization + queueing + jitter + loss |
 //! | [`cellular`] | 3G/LTE RRC state machines, promotion delays, energy |
 //! | [`tcp`] | sans-IO TCP: Reno/Cubic, RFC 6298 RTO, idle-restart semantics |
@@ -47,6 +48,7 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub use spdyier_browser as browser;
+pub use spdyier_bytes as payload;
 pub use spdyier_cellular as cellular;
 pub use spdyier_core as core;
 pub use spdyier_experiments as experiments;

@@ -1,8 +1,8 @@
 //! Property-based tests over the core data structures and protocol
 //! invariants, spanning crates.
 
-use bytes::Bytes;
 use proptest::prelude::*;
+use spdyier::payload::Payload;
 use spdyier::sim::{DetRng, EventQueue, SimDuration, SimTime};
 use spdyier::spdy::{Compressor, Decompressor};
 use spdyier::tcp::buffer::{RecvBuffer, SendBuffer};
@@ -50,11 +50,11 @@ proptest! {
         rng.shuffle(&mut segments);
         let mut buf = RecvBuffer::new(0, 1 << 20);
         for (seq, data) in segments {
-            buf.ingest(seq, Bytes::from(data));
+            buf.ingest(seq, Payload::from(data));
         }
         let mut out = Vec::new();
         while let Some(b) = buf.read() {
-            out.extend_from_slice(&b);
+            out.extend_from_slice(&b.to_vec());
         }
         prop_assert_eq!(out, payload);
     }
@@ -70,13 +70,13 @@ proptest! {
         let mut expect = Vec::new();
         for w in &writes {
             expect.extend_from_slice(w);
-            buf.write(Bytes::from(w.clone()));
+            buf.write(Payload::from(w.clone()));
         }
         let mut got = Vec::new();
         for p in pulls {
-            got.extend_from_slice(&buf.pull(p));
+            got.extend_from_slice(&buf.pull(p).to_vec());
         }
-        got.extend_from_slice(&buf.pull(u64::MAX >> 1));
+        got.extend_from_slice(&buf.pull(u64::MAX >> 1).to_vec());
         prop_assert_eq!(got, expect);
     }
 
@@ -166,7 +166,7 @@ fn tcp_transfer_integrity_across_latencies() {
         let payload: Vec<u8> = (0..150_000u32).map(|i| (i % 251) as u8).collect();
         let mut now = SimTime::ZERO;
         let mut wire: Vec<(SimTime, bool, spdyier::tcp::Segment)> = Vec::new();
-        c.write(Bytes::from(payload.clone()));
+        c.write(Payload::from(payload.clone()));
         let mut got = Vec::new();
         for _ in 0..200_000 {
             while let Some(seg) = c.poll_transmit(now) {
@@ -176,7 +176,7 @@ fn tcp_transfer_integrity_across_latencies() {
                 wire.push((now + latency, true, seg));
             }
             while let Some(chunk) = s.read() {
-                got.extend_from_slice(&chunk);
+                got.extend_from_slice(&chunk.to_vec());
             }
             if got.len() == payload.len() {
                 break;
@@ -229,7 +229,7 @@ fn spdy_frames_roundtrip_chunked() {
         Frame::Data {
             stream_id: 1,
             fin: false,
-            payload: Bytes::from(vec![9u8; 5_000]),
+            payload: Payload::from(vec![9u8; 5_000]),
         },
         Frame::SynReply {
             stream_id: 1,
@@ -243,7 +243,7 @@ fn spdy_frames_roundtrip_chunked() {
         Frame::Data {
             stream_id: 1,
             fin: true,
-            payload: Bytes::new(),
+            payload: Payload::new(),
         },
         Frame::Goaway {
             last_stream_id: 1,
@@ -252,7 +252,7 @@ fn spdy_frames_roundtrip_chunked() {
     ];
     let mut wire = Vec::new();
     for f in &frames {
-        wire.extend_from_slice(&f.encode(&mut comp));
+        wire.extend_from_slice(&f.encode(&mut comp).to_vec());
     }
     // Deliver in awkward chunk sizes.
     for chunk_size in [1usize, 3, 7, 64, 1000] {
@@ -262,11 +262,11 @@ fn spdy_frames_roundtrip_chunked() {
         let mut comp_local = Compressor::new();
         let mut wire_local = Vec::new();
         for f in &frames {
-            wire_local.extend_from_slice(&f.encode(&mut comp_local));
+            wire_local.extend_from_slice(&f.encode(&mut comp_local).to_vec());
         }
         let mut got = Vec::new();
         for chunk in wire_local.chunks(chunk_size) {
-            parser.push(chunk);
+            parser.push(Payload::from(chunk.to_vec()));
             while let Some(f) = parser.next_frame(&mut decomp_local).expect("valid") {
                 got.push(f);
             }

@@ -2,8 +2,8 @@
 //! SPDY sessions over real TCP pipes, HTTP proxy chains, and header
 //! compression efficiency under realistic request mixes.
 
-use bytes::Bytes;
 use spdyier::http::{HttpClientConn, HttpServerConn, Request, Response};
+use spdyier::payload::Payload;
 use spdyier::sim::{SimDuration, SimTime};
 use spdyier::spdy::{Role, SpdyConfig, SpdyEvent, SpdySession};
 use spdyier::tcp::{Segment, TcpConfig, TcpConnection};
@@ -45,10 +45,10 @@ impl Pipe {
                 self.wire.push((self.now + self.latency, false, seg));
             }
             while let Some(chunk) = self.a.read() {
-                to_a.extend_from_slice(&chunk);
+                to_a.extend_from_slice(&chunk.to_vec());
             }
             while let Some(chunk) = self.b.read() {
-                to_b.extend_from_slice(&chunk);
+                to_b.extend_from_slice(&chunk.to_vec());
             }
             let next = self
                 .wire
@@ -104,7 +104,9 @@ fn spdy_session_over_real_tcp() {
         pipe.a.write(w);
     }
     let (_, to_b) = pipe.settle();
-    let events = server.on_bytes(&to_b).expect("valid frames over TCP");
+    let events = server
+        .on_bytes(Payload::from(to_b))
+        .expect("valid frames over TCP");
     let opened: Vec<u32> = events
         .iter()
         .filter_map(|e| match e {
@@ -117,9 +119,9 @@ fn spdy_session_over_real_tcp() {
     // Server answers each with a body; bodies multiplex back over TCP.
     for &sid in &ids {
         server.reply(sid, vec![(":status".into(), "200".into())], false);
-        server.send_data(sid, Bytes::from(vec![sid as u8; 20_000]), true);
+        server.send_data(sid, Payload::from(vec![sid as u8; 20_000]), true);
     }
-    let mut delivered = 0usize;
+    let mut delivered = 0u64;
     for _ in 0..100 {
         while let Some(w) = server.poll_wire() {
             pipe.b.write(w);
@@ -128,7 +130,7 @@ fn spdy_session_over_real_tcp() {
         if to_a.is_empty() {
             break;
         }
-        for ev in client.on_bytes(&to_a).expect("valid") {
+        for ev in client.on_bytes(Payload::from(to_a)).expect("valid") {
             if let SpdyEvent::Data {
                 stream_id, payload, ..
             } = ev
@@ -159,13 +161,13 @@ fn http_request_response_over_real_tcp() {
         let wire = client.send_request(round, &Request::get("o.example", format!("/r{round}")));
         pipe.a.write(wire);
         let (_, to_b) = pipe.settle();
-        let reqs = server.on_bytes(&to_b).expect("parse");
+        let reqs = server.on_bytes(Payload::from(to_b)).expect("parse");
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].path, format!("/r{round}"));
-        let resp = server.encode_response(&Response::ok(Bytes::from(vec![round as u8; 30_000])));
+        let resp = server.encode_response(&Response::ok(Payload::from(vec![round as u8; 30_000])));
         pipe.b.write(resp);
         let (to_a, _) = pipe.settle();
-        let done = client.on_bytes(&to_a).expect("parse");
+        let done = client.on_bytes(Payload::from(to_a)).expect("parse");
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].0, round);
         assert_eq!(done[0].1.body.len(), 30_000);
@@ -195,7 +197,7 @@ fn spdy_header_compression_beats_http_header_bytes() {
             ),
         ]
     };
-    let mut spdy_bytes = 0usize;
+    let mut spdy_bytes = 0u64;
     let mut session = SpdySession::new(Role::Client, SpdyConfig::default());
     for i in 0..40 {
         session.open_stream(headers(i), 2, true);
@@ -203,7 +205,7 @@ fn spdy_header_compression_beats_http_header_bytes() {
     while let Some(w) = session.poll_wire() {
         spdy_bytes += w.len();
     }
-    let mut http_bytes = 0usize;
+    let mut http_bytes = 0u64;
     for i in 0..40 {
         let mut req = Request::get("news.example", format!("/article/{i}/image.png"));
         for (n, v) in headers(i).into_iter().filter(|(n, _)| !n.starts_with(':')) {

@@ -99,6 +99,26 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Consume the first `cnt` bytes (inherent, like upstream `bytes`
+    /// where `Buf` is in scope; the trait impl delegates here).
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+
+    /// Re-join `other` onto the end of `self` without copying when the
+    /// two views are adjacent slices of the same backing allocation
+    /// (i.e. `other` was split off the end of `self`). Returns `other`
+    /// unchanged otherwise.
+    pub fn try_unsplit(&mut self, other: Bytes) -> Result<(), Bytes> {
+        if Arc::ptr_eq(&self.data, &other.data) && self.end == other.start {
+            self.end = other.end;
+            Ok(())
+        } else {
+            Err(other)
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -364,8 +384,7 @@ impl Buf for Bytes {
         self
     }
     fn advance(&mut self, cnt: usize) {
-        assert!(cnt <= self.len(), "advance out of bounds");
-        self.start += cnt;
+        Bytes::advance(self, cnt);
     }
 }
 
@@ -457,6 +476,18 @@ mod tests {
         assert_eq!(m.get_u32(), 0x01020304);
         assert_eq!(m.get_u8(), 9);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn bytes_advance_and_unsplit() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        b.advance(2);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        let tail = b.split_off(1);
+        assert!(b.try_unsplit(tail).is_ok());
+        assert_eq!(&b[..], &[3, 4, 5]);
+        let unrelated = Bytes::from(vec![9]);
+        assert!(b.try_unsplit(unrelated).is_err());
     }
 
     #[test]
