@@ -17,81 +17,21 @@
 use spdyier_bytes::Payload;
 use spdyier_core::{NetworkKind, ProtocolMode};
 use spdyier_experiments::{paired_runs_on, run_schedule_traced, Executor, ExpOpts};
+use spdyier_prof::{global_counts, peak_rss_kb, AllocCounts};
 use spdyier_tcp::buffer::{RecvBuffer, SendBuffer};
 use spdyier_trace::TraceLevel;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// A pass-through allocator that counts every allocation (count and
-/// bytes). Deallocations are not tracked: the interesting number is how
-/// much the workload *asks for*, not the high-water mark (peak RSS covers
-/// that).
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
+// The counting allocator now lives in `spdyier-prof` (it started here);
+// installing it gives every stage its allocation counts.
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Allocation counters sampled before/after a stage.
-#[derive(Clone, Copy)]
-struct AllocMark {
-    allocs: u64,
-    bytes: u64,
-}
-
-fn mark() -> AllocMark {
-    AllocMark {
-        allocs: ALLOCS.load(Ordering::Relaxed),
-        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
-    }
-}
-
-fn since(m: AllocMark) -> AllocMark {
-    let now = mark();
-    AllocMark {
-        allocs: now.allocs - m.allocs,
-        bytes: now.bytes - m.bytes,
-    }
-}
+static GLOBAL: spdyier_prof::CountingAlloc = spdyier_prof::CountingAlloc;
 
 fn fnv1a(hash: &mut u64, data: &[u8]) {
     for &b in data {
         *hash ^= u64::from(b);
         *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
-}
-
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-        })
-        .unwrap_or(0)
 }
 
 /// Body bytes pushed through the data-plane stage.
@@ -139,11 +79,11 @@ struct Stage {
 }
 
 fn staged<T>(f: impl FnOnce() -> T) -> (Stage, T) {
-    let m = mark();
+    let m: AllocCounts = global_counts();
     let t0 = Instant::now();
     let out = f();
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let d = since(m);
+    let d = global_counts().since(m);
     (
         Stage {
             wall_ms,

@@ -139,6 +139,7 @@ impl Testbed {
     }
 
     fn start(&mut self) {
+        let _span = spdyier_prof::scope("driver.start");
         for (i, (t, _)) in self.cfg.schedule.visits().enumerate() {
             self.world.queue.schedule(t, Event::Visit(i));
         }
@@ -170,6 +171,7 @@ impl Testbed {
 
     /// Service all dirty pipes to quiescence.
     fn service_all(&mut self) {
+        let _span = spdyier_prof::scope("world.service");
         let mut guard = 0;
         while let Some(idx) = self.world.dirty.pop_front() {
             guard += 1;
@@ -345,6 +347,7 @@ impl Testbed {
     /// Drain the side's pending actions and execute them in order, until
     /// quiescent.
     fn pump_session(&mut self) {
+        let _span = spdyier_prof::scope("session.pump");
         loop {
             let actions = with_side!(self, side, ctx, side.poll_actions(&mut ctx));
             if actions.is_empty() {
@@ -416,7 +419,27 @@ impl Testbed {
 
     // ----- Event dispatch -----
 
+    /// The self-profiler span name for an event kind. Names are
+    /// `subsystem.detail`; the prefix before the first `.` is the row
+    /// the profile report rolls the span into.
+    fn event_scope(ev: &Event) -> &'static str {
+        match ev {
+            Event::Deliver { .. } => "driver.deliver",
+            Event::Timer { .. } => "driver.tcp_timer",
+            Event::BrowserTimer => "browser.timer",
+            Event::Visit(_) => "visit.start",
+            Event::VisitDeadline { .. } => "visit.deadline",
+            Event::OriginReply { .. } => "origin.reply",
+            Event::SslReady { .. } => "driver.ssl_ready",
+            Event::PingTick => "driver.ping",
+            Event::Beacon => "driver.beacon",
+            Event::IdleSweep => "driver.idle_sweep",
+            Event::EndRun => "driver.end_run",
+        }
+    }
+
     fn dispatch(&mut self, ev: Event) {
+        let _span = spdyier_prof::scope(Self::event_scope(&ev));
         match ev {
             Event::Deliver { pipe, to_b, seg } => {
                 if self.world.pipes[pipe].closed {
@@ -583,6 +606,7 @@ impl Testbed {
     }
 
     fn finalize(mut self) -> (RunResult, FlightLog) {
+        let _span = spdyier_prof::scope("driver.finalize");
         // Make sure every promotion taken this run reaches the recorder,
         // even ones after the last access-pipe drain.
         if self.world.tracer.active(TraceLevel::Transport) {

@@ -3,7 +3,9 @@
 //! paper's tcpdump + `tcp_probe` post-processing scripts.
 
 use crate::results::RunResult;
+use serde::Serialize;
 use spdyier_sim::{SimDuration, SimTime};
+use spdyier_trace::MetricsRegistry;
 use std::fmt::Write as _;
 
 /// One exported data file: a name and whitespace-separated columns with a
@@ -14,6 +16,26 @@ pub struct DataFile {
     pub name: String,
     /// File contents.
     pub contents: String,
+}
+
+/// Schema version stamped into `metrics_*.json` (bump on breaking
+/// key-set changes; the golden-schema tests pin it).
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Render a metrics registry as the schema-versioned `metrics_*.json`
+/// artifact (`label` is the lowercase protocol, e.g. `"spdy"`).
+pub fn metrics_file(label: &str, metrics: &MetricsRegistry) -> DataFile {
+    let body = serde::Value::Object(vec![
+        (
+            "schema_version".to_string(),
+            METRICS_SCHEMA_VERSION.to_value(),
+        ),
+        ("metrics".to_string(), metrics.to_value()),
+    ]);
+    DataFile {
+        name: format!("metrics_{label}.json"),
+        contents: serde_json::to_string_pretty(&body).expect("metrics serialize"),
+    }
 }
 
 /// Export everything plottable from a run.

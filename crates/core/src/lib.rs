@@ -35,7 +35,7 @@ pub use driver::{
     run_experiment, run_experiment_traced, try_run_experiment, try_run_experiment_traced, RunError,
     Testbed,
 };
-pub use export::{export_run, write_to_dir, DataFile};
+pub use export::{export_run, metrics_file, write_to_dir, DataFile, METRICS_SCHEMA_VERSION};
 pub use results::{ConnTraceResult, RunResult, VisitResult};
 pub use spdyier_trace::{FlightLog, TraceLevel};
 pub use waterfall::{waterfall, waterfall_json, Waterfall};

@@ -62,19 +62,48 @@ impl Executor {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_observed(n, f, |_, _, _| {})
+    }
+
+    /// [`Executor::run`] plus a completion observer: after each job
+    /// finishes, `observe(job, worker, &output)` runs **on the worker
+    /// thread that produced it**, before the output lands in its slot.
+    ///
+    /// This is the hook sweep telemetry rides on — the observer sees
+    /// completion order (not job order) and the worker index, which is
+    /// exactly what a heartbeat line reports. The observer must not
+    /// affect the outputs (it gets a shared reference), so the ordering
+    /// guarantee of [`Executor::run`] is undisturbed.
+    pub fn run_observed<T, F, O>(&self, n: usize, f: F, observe: O) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        O: Fn(usize, usize, &T) + Sync,
+    {
         if self.jobs == 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n)
+                .map(|i| {
+                    let out = f(i);
+                    observe(i, 0, &out);
+                    out
+                })
+                .collect();
         }
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..self.jobs.min(n) {
-                scope.spawn(|| loop {
+            for worker in 0..self.jobs.min(n) {
+                let observe = &observe;
+                let f = &f;
+                let slots = &slots;
+                let next = &next;
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let out = f(i);
+                    observe(i, worker, &out);
                     *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
@@ -116,5 +145,24 @@ mod tests {
     #[test]
     fn more_workers_than_jobs_is_fine() {
         assert_eq!(Executor::new(16).run(2, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn observer_sees_every_job_exactly_once() {
+        use std::sync::Mutex;
+        for workers in [1, 4] {
+            let seen = Mutex::new(vec![0u32; 50]);
+            let out = Executor::new(workers).run_observed(
+                50,
+                |i| i * 2,
+                |job, worker, &out| {
+                    assert_eq!(out, job * 2, "observer gets the job's own output");
+                    assert!(worker < 4);
+                    seen.lock().unwrap()[job] += 1;
+                },
+            );
+            assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+            assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+        }
     }
 }

@@ -15,6 +15,7 @@ pub mod extensions;
 pub mod mitigations;
 pub mod objects;
 pub mod plt;
+pub mod profiling;
 pub mod proxy_bottleneck;
 pub mod table1;
 pub mod tcp_dynamics;
@@ -28,6 +29,7 @@ use spdyier_sim::DetRng;
 use spdyier_workload::VisitSchedule;
 
 pub use exec::Executor;
+pub use profiling::{paired_cells, profiled_cells_on, ProfiledSweep};
 
 /// A rendered experiment result.
 #[derive(Debug)]

@@ -15,15 +15,29 @@
 //! (level from `SPDYIER_TRACE`, default `full`) and writes the raw
 //! JSONL event stream, the HAR-style waterfall, the per-visit stall
 //! attribution table, and the metrics registry to `DIR`.
+//!
+//! The `profile` form turns the host-side self-profiler on and runs one
+//! or more schedules (`--seeds N`, fanned across `SPDYIER_JOBS`
+//! workers), writing `profile_<proto>.json` (wall-time / allocations /
+//! events-per-second by subsystem), `heartbeat_<proto>.jsonl` (one line
+//! per completed cell), and the merged `metrics_<proto>.json` to `DIR`.
 
 use spdyier_core::{
-    attribute_stalls, export_run, stall_file, waterfall_json, write_to_dir, DataFile, NetworkKind,
-    ProtocolMode, TraceLevel,
+    attribute_stalls, export_run, metrics_file, stall_file, waterfall_json, write_to_dir, DataFile,
+    NetworkKind, ProtocolMode, TraceLevel,
 };
 use spdyier_experiments::{
-    paired_runs, run_by_id, run_schedule, run_schedule_traced, ExpOpts, ALL_EXPERIMENTS,
+    paired_runs, profiled_cells_on, run_by_id, run_schedule, run_schedule_traced, Executor,
+    ExpOpts, ALL_EXPERIMENTS,
 };
+use spdyier_trace::MetricsRegistry;
 use std::io::Write;
+
+/// Count every allocation the binary makes, so `profile` runs can report
+/// allocations per visit and per subsystem (near-zero cost otherwise:
+/// two relaxed atomic increments per allocation).
+#[global_allocator]
+static GLOBAL: spdyier_prof::CountingAlloc = spdyier_prof::CountingAlloc;
 
 fn run_export(args: &[String]) -> ! {
     let (protocol, network, dir, seed) = parse_run_args(args, "export");
@@ -79,7 +93,6 @@ fn run_trace(args: &[String]) -> ! {
     let (result, log) = run_schedule_traced(protocol, network, seed, level);
     let proto = result.protocol.to_lowercase();
     let stalls = attribute_stalls(&log);
-    let metrics = serde_json::to_string_pretty(&log.metrics).expect("metrics serialize");
     let files = vec![
         DataFile {
             name: format!("trace_{proto}.jsonl"),
@@ -90,10 +103,7 @@ fn run_trace(args: &[String]) -> ! {
             contents: waterfall_json(&result),
         },
         stall_file(&proto, &stalls),
-        DataFile {
-            name: format!("metrics_{proto}.json"),
-            contents: metrics,
-        },
+        metrics_file(&proto, &log.metrics),
     ];
     let paths = write_to_dir(&files, &dir).expect("write trace dir");
     println!(
@@ -104,6 +114,107 @@ fn run_trace(args: &[String]) -> ! {
         log.events.len(),
         log.dropped
     );
+    for p in &paths {
+        println!("wrote {}", p.display());
+    }
+    std::process::exit(0);
+}
+
+/// Run one or more profiled schedules and write the self-observability
+/// artifacts: `profile_<proto>.json` (the span/subsystem self-report),
+/// `heartbeat_<proto>.jsonl` (one line per completed cell), and
+/// `metrics_<proto>.json` (the merged trace metrics registry, which now
+/// includes `trace.emitted` / `trace.sink_dropped`).
+fn run_profile(args: &[String]) -> ! {
+    let (protocol, network, dir, seed) = parse_run_args(args, "profile");
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let level = match TraceLevel::from_env() {
+        TraceLevel::Off => TraceLevel::Lifecycle,
+        explicit => explicit,
+    };
+    let proto = match protocol {
+        ProtocolMode::Http => "http",
+        ProtocolMode::Spdy { .. } => "spdy",
+    };
+    let cells: Vec<(ProtocolMode, u64)> = (seed..seed + seeds).map(|s| (protocol, s)).collect();
+
+    std::fs::create_dir_all(&dir).expect("create profile dir");
+    let hb_path = dir.join(format!("heartbeat_{proto}.jsonl"));
+    let heartbeat: Box<dyn Write + Send> =
+        Box::new(std::fs::File::create(&hb_path).expect("create heartbeat file"));
+
+    spdyier_prof::set_enabled(true);
+    let alloc_before = spdyier_prof::global_counts();
+    let sweep = profiled_cells_on(
+        &Executor::from_env(),
+        &cells,
+        network,
+        level,
+        Some(heartbeat),
+    );
+    let alloc_delta = spdyier_prof::global_counts().since(alloc_before);
+
+    let mut metrics = MetricsRegistry::new();
+    let mut retained = 0u64;
+    for (_, log) in &sweep.runs {
+        metrics.merge(&log.metrics);
+        retained += log.events.len() as u64;
+    }
+    let secs = sweep.wall_ms / 1e3;
+    let report = spdyier_prof::SelfReport::assemble(
+        format!("{proto} {} seeds={seeds}", args[1]),
+        &sweep.profile,
+        sweep.wall_ms,
+        sweep.telemetry.visits,
+        alloc_delta,
+        sweep.telemetry.events,
+        spdyier_prof::SinkReport {
+            emitted: sweep.telemetry.events,
+            retained,
+            dropped: sweep.telemetry.trace_dropped,
+            events_per_sec: if secs > 0.0 {
+                sweep.telemetry.events as f64 / secs
+            } else {
+                0.0
+            },
+        },
+    );
+    spdyier_prof::set_enabled(false);
+    let files = vec![
+        DataFile {
+            name: format!("profile_{proto}.json"),
+            contents: report.to_json(),
+        },
+        metrics_file(proto, &metrics),
+    ];
+    let paths = write_to_dir(&files, &dir).expect("write profile dir");
+    println!(
+        "profiled {} cell(s) of {} on {:?} at {:?}: {:.0} ms, {} events ({:.0}/s), {:.0} allocs/visit",
+        cells.len(),
+        proto,
+        network,
+        level,
+        sweep.wall_ms,
+        sweep.telemetry.events,
+        report.events_per_sec,
+        report.allocs_per_visit,
+    );
+    for row in report.subsystems.iter().map(|(name, s)| {
+        format!(
+            "  {name:<10} {:>10.1} ms self  {:>12} allocs  {:>8} calls",
+            s.self_ns as f64 / 1e6,
+            s.allocs,
+            s.calls
+        )
+    }) {
+        println!("{row}");
+    }
+    println!("wrote {}", hb_path.display());
     for p in &paths {
         println!("wrote {}", p.display());
     }
@@ -163,6 +274,9 @@ fn main() {
         eprintln!("       experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments paired <3g|lte|wifi|3g-pinned> <FILE> [--seeds N]");
+        eprintln!(
+            "       experiments profile <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N] [--seeds N]"
+        );
         eprintln!("ids: {}", ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
@@ -171,6 +285,9 @@ fn main() {
     }
     if args[0] == "trace" {
         run_trace(&args[1..]);
+    }
+    if args[0] == "profile" {
+        run_profile(&args[1..]);
     }
     if args[0] == "paired" {
         run_paired(&args[1..]);

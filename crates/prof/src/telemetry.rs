@@ -1,0 +1,277 @@
+//! Sweep telemetry: per-shard JSONL heartbeats for the parallel
+//! executor.
+//!
+//! A long sweep is opaque from the outside — `SweepTelemetry` fixes
+//! that by emitting one JSON line per completed cell (a `(protocol,
+//! seed)` run): which shard (worker) finished it, cumulative cells /
+//! events / visits / allocations, the observed events-per-second and
+//! allocations-per-visit, how many trace records sinks have shed, and a
+//! linear ETA. Lines go to any `Write` (a `heartbeat_*.jsonl` file, a
+//! pipe, or an in-memory buffer in benchmarks); write errors are
+//! swallowed — telemetry must never abort a sweep.
+//!
+//! The struct is `Sync` (one mutex around the writer and the running
+//! totals) so every worker of the scoped-thread executor reports into
+//! the same stream.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Schema version stamped into every heartbeat line.
+pub const HEARTBEAT_SCHEMA_VERSION: u32 = 1;
+
+/// What one finished cell reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellReport {
+    /// Worker index that ran the cell.
+    pub shard: usize,
+    /// Cell (job) index in the sweep.
+    pub cell: usize,
+    /// Simulated visits the cell completed.
+    pub visits: u64,
+    /// Trace events the cell emitted.
+    pub events: u64,
+    /// Trace records the cell's sink shed.
+    pub trace_dropped: u64,
+    /// Allocations the cell performed (thread-attributed).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+/// One heartbeat line.
+#[derive(Debug, Serialize)]
+struct Heartbeat {
+    schema_version: u32,
+    shard: usize,
+    cell: usize,
+    cells_completed: usize,
+    cells_total: usize,
+    elapsed_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    visits: u64,
+    allocs: u64,
+    allocs_per_visit: f64,
+    trace_dropped: u64,
+    eta_ms: f64,
+}
+
+/// Cumulative facts across the sweep so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TelemetryTotals {
+    /// Cells completed.
+    pub completed: usize,
+    /// Trace events emitted.
+    pub events: u64,
+    /// Simulated visits completed.
+    pub visits: u64,
+    /// Allocations performed by cells.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Trace records shed by sinks.
+    pub trace_dropped: u64,
+    /// Heartbeat lines successfully written.
+    pub lines: u64,
+}
+
+struct State {
+    out: Option<Box<dyn Write + Send>>,
+    totals: TelemetryTotals,
+}
+
+/// The shared heartbeat reporter one sweep's workers write into.
+pub struct SweepTelemetry {
+    total: usize,
+    started: Instant,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for SweepTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepTelemetry")
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SweepTelemetry {
+    /// A reporter for a sweep of `total` cells. `out` is where
+    /// heartbeat lines go; `None` keeps the totals without emitting.
+    pub fn new(total: usize, out: Option<Box<dyn Write + Send>>) -> SweepTelemetry {
+        SweepTelemetry {
+            total,
+            started: Instant::now(),
+            state: Mutex::new(State {
+                out,
+                totals: TelemetryTotals::default(),
+            }),
+        }
+    }
+
+    /// Record one finished cell and emit its heartbeat line.
+    pub fn cell_done(&self, r: &CellReport) {
+        let elapsed_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let t = &mut state.totals;
+        t.completed += 1;
+        t.events += r.events;
+        t.visits += r.visits;
+        t.allocs += r.allocs;
+        t.alloc_bytes += r.alloc_bytes;
+        t.trace_dropped += r.trace_dropped;
+        let hb = Heartbeat {
+            schema_version: HEARTBEAT_SCHEMA_VERSION,
+            shard: r.shard,
+            cell: r.cell,
+            cells_completed: t.completed,
+            cells_total: self.total,
+            elapsed_ms,
+            events: t.events,
+            events_per_sec: if elapsed_ms > 0.0 {
+                t.events as f64 / (elapsed_ms / 1e3)
+            } else {
+                0.0
+            },
+            visits: t.visits,
+            allocs: t.allocs,
+            allocs_per_visit: if t.visits > 0 {
+                t.allocs as f64 / t.visits as f64
+            } else {
+                0.0
+            },
+            trace_dropped: t.trace_dropped,
+            eta_ms: if t.completed > 0 && self.total > t.completed {
+                elapsed_ms / t.completed as f64 * (self.total - t.completed) as f64
+            } else {
+                0.0
+            },
+        };
+        let line = serde_json::to_string(&hb).expect("heartbeat serializes");
+        let wrote = match state.out.as_mut() {
+            Some(out) => writeln!(out, "{line}").is_ok(),
+            None => false,
+        };
+        if wrote {
+            state.totals.lines += 1;
+        }
+    }
+
+    /// Elapsed host time since the reporter was created, milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Cumulative totals so far.
+    pub fn totals(&self) -> TelemetryTotals {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .totals
+    }
+
+    /// Flush and drop the writer, returning the final totals.
+    pub fn finish(self) -> TelemetryTotals {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(out) = state.out.as_mut() {
+            let _ = out.flush();
+        }
+        state.out = None;
+        state.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A Vec<u8> sink we can read back after the telemetry is done.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn heartbeats_accumulate_and_serialize() {
+        let buf = SharedBuf::default();
+        let tel = SweepTelemetry::new(2, Some(Box::new(buf.clone())));
+        tel.cell_done(&CellReport {
+            shard: 0,
+            cell: 0,
+            visits: 20,
+            events: 1000,
+            trace_dropped: 0,
+            allocs: 4000,
+            alloc_bytes: 64_000,
+        });
+        tel.cell_done(&CellReport {
+            shard: 1,
+            cell: 1,
+            visits: 20,
+            events: 1000,
+            trace_dropped: 3,
+            allocs: 4000,
+            alloc_bytes: 64_000,
+        });
+        let totals = tel.finish();
+        assert_eq!(totals.completed, 2);
+        assert_eq!(totals.visits, 40);
+        assert_eq!(totals.trace_dropped, 3);
+        assert_eq!(totals.lines, 2);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let last = text.lines().last().unwrap();
+        for key in [
+            "\"schema_version\"",
+            "\"shard\"",
+            "\"cell\"",
+            "\"cells_completed\"",
+            "\"cells_total\"",
+            "\"elapsed_ms\"",
+            "\"events\"",
+            "\"events_per_sec\"",
+            "\"visits\"",
+            "\"allocs\"",
+            "\"allocs_per_visit\"",
+            "\"trace_dropped\"",
+            "\"eta_ms\"",
+        ] {
+            assert!(last.contains(key), "heartbeat missing {key}: {last}");
+        }
+        assert!(last.contains("\"cells_completed\":2"));
+        assert!(last.contains("\"allocs_per_visit\":200"));
+        assert!(last.contains("\"trace_dropped\":3"));
+    }
+
+    #[test]
+    fn none_writer_keeps_totals_without_lines() {
+        let tel = SweepTelemetry::new(1, None);
+        tel.cell_done(&CellReport {
+            visits: 5,
+            ..CellReport::default()
+        });
+        let totals = tel.totals();
+        assert_eq!(totals.completed, 1);
+        assert_eq!(totals.visits, 5);
+        assert_eq!(totals.lines, 0);
+    }
+}

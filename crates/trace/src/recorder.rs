@@ -126,12 +126,24 @@ impl Tracer {
         &self.metrics
     }
 
-    /// Close out the run: drain the sink and package everything.
+    /// Close out the run: drain the sink and package everything. The
+    /// recorder's own throughput (`trace.emitted`) and the sink's loss
+    /// (`trace.sink_dropped`) land in the metrics registry so
+    /// `metrics_*.json` surfaces trace loss without consumers having to
+    /// inspect the sink. Drain first: a batching sink (like
+    /// [`crate::sink::JsonlWriter`]) may only discover write failures
+    /// while flushing.
     pub fn finish(mut self) -> FlightLog {
+        let events = self.sink.drain();
+        let dropped = self.sink.dropped();
+        if self.level != TraceLevel::Off {
+            self.metrics.count("trace.emitted", self.emitted);
+            self.metrics.count("trace.sink_dropped", dropped);
+        }
         FlightLog {
             level: self.level,
-            events: self.sink.drain(),
-            dropped: self.sink.dropped(),
+            events,
+            dropped,
             emitted: self.emitted,
             metrics: self.metrics,
         }
@@ -223,6 +235,16 @@ mod tests {
         assert_eq!(log.emitted, 2);
         assert_eq!(log.events.len(), 1);
         assert_eq!(log.dropped, 1);
+    }
+
+    #[test]
+    fn finish_publishes_throughput_and_loss_metrics() {
+        let mut tr = Tracer::with_sink(TraceLevel::Lifecycle, Box::new(RingSink::new(1)));
+        tr.emit(SimTime::ZERO, visit_start(0));
+        tr.emit(SimTime::from_micros(1), visit_start(1));
+        let log = tr.finish();
+        assert_eq!(log.metrics.counter("trace.emitted"), 2);
+        assert_eq!(log.metrics.counter("trace.sink_dropped"), 1);
     }
 
     #[test]

@@ -121,13 +121,26 @@ impl TraceSink for RingSink {
     }
 }
 
-/// Streams each record as one JSON line to an `io::Write`.
+/// How many buffered bytes a [`JsonlWriter`] accumulates before it
+/// pushes them to the inner writer in one `write_all`.
+const JSONL_FLUSH_BYTES: usize = 64 * 1024;
+
+/// Streams each record as one JSON line to an `io::Write`, batching
+/// lines through an internal buffer so a megaevent run costs hundreds
+/// of writes rather than one syscall per record. The buffer drains to
+/// the inner writer whenever it crosses [`JSONL_FLUSH_BYTES`], on
+/// [`TraceSink::drain`], and on [`JsonlWriter::into_inner`]; the bytes
+/// that reach the writer are identical to the unbatched stream.
 ///
 /// Write errors are counted (see [`TraceSink::dropped`]) rather than
-/// propagated: tracing must never abort a run.
+/// propagated: tracing must never abort a run. A failed batch write
+/// reclassifies every line in the batch from `written` to dropped.
 #[derive(Debug)]
 pub struct JsonlWriter<W: io::Write + Send> {
     out: W,
+    buf: Vec<u8>,
+    /// Lines currently sitting in `buf`.
+    pending: u64,
     written: u64,
     failed: u64,
 }
@@ -137,18 +150,36 @@ impl<W: io::Write + Send> JsonlWriter<W> {
     pub fn new(out: W) -> JsonlWriter<W> {
         JsonlWriter {
             out,
+            buf: Vec::with_capacity(JSONL_FLUSH_BYTES),
+            pending: 0,
             written: 0,
             failed: 0,
         }
     }
 
-    /// How many lines were written successfully.
+    /// How many lines were accepted (buffered or already pushed to the
+    /// inner writer). A line only leaves this count if its batch later
+    /// fails to write.
     pub fn written(&self) -> u64 {
         self.written
     }
 
+    /// Push the buffered batch to the inner writer.
+    fn flush_buf(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.out.write_all(&self.buf).is_err() {
+            self.written = self.written.saturating_sub(self.pending);
+            self.failed += self.pending;
+        }
+        self.buf.clear();
+        self.pending = 0;
+    }
+
     /// Flush and recover the inner writer.
     pub fn into_inner(mut self) -> W {
+        self.flush_buf();
         let _ = self.out.flush();
         self.out
     }
@@ -156,15 +187,34 @@ impl<W: io::Write + Send> JsonlWriter<W> {
 
 impl<W: io::Write + Send> TraceSink for JsonlWriter<W> {
     fn record(&mut self, rec: TraceRecord) {
-        let line = rec.to_jsonl_line();
-        match writeln!(self.out, "{line}") {
-            Ok(()) => self.written += 1,
-            Err(_) => self.failed += 1,
+        self.buf.push_str_line(&rec.to_jsonl_line());
+        self.pending += 1;
+        self.written += 1;
+        if self.buf.len() >= JSONL_FLUSH_BYTES {
+            self.flush_buf();
         }
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        self.flush_buf();
+        let _ = self.out.flush();
+        Vec::new()
     }
 
     fn dropped(&self) -> u64 {
         self.failed
+    }
+}
+
+/// Tiny helper so `record` appends `line\n` without a `fmt` round trip.
+trait PushLine {
+    fn push_str_line(&mut self, line: &str);
+}
+
+impl PushLine for Vec<u8> {
+    fn push_str_line(&mut self, line: &str) {
+        self.extend_from_slice(line.as_bytes());
+        self.push(b'\n');
     }
 }
 
@@ -228,6 +278,93 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
         assert_eq!(text, to_jsonl(&[rec(10, 0), rec(20, 1)]));
+    }
+
+    /// A writer shared through an `Rc<RefCell<..>>` so tests can watch
+    /// when bytes actually arrive, plus a write-call counter.
+    #[derive(Default)]
+    struct CountingWriter {
+        bytes: Vec<u8>,
+        write_calls: usize,
+    }
+
+    impl io::Write for &mut CountingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_calls += 1;
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_batches_lines_into_one_write() {
+        let mut inner = CountingWriter::default();
+        {
+            let mut sink = JsonlWriter::new(&mut inner);
+            for i in 0..100 {
+                sink.record(rec(i, i as usize));
+            }
+            // Under the flush threshold: nothing has hit the writer yet,
+            // but every line is accepted.
+            assert_eq!(sink.written(), 100);
+            let _ = sink.into_inner();
+        }
+        assert!(
+            inner.write_calls <= 2,
+            "expected one batched write, got {}",
+            inner.write_calls
+        );
+        let text = String::from_utf8(inner.bytes).unwrap();
+        assert_eq!(text.lines().count(), 100);
+        let expect: Vec<TraceRecord> = (0..100).map(|i| rec(i, i as usize)).collect();
+        assert_eq!(text, to_jsonl(&expect), "batching must not change bytes");
+    }
+
+    #[test]
+    fn jsonl_writer_drain_flushes_the_batch() {
+        let mut inner = CountingWriter::default();
+        {
+            let mut sink = JsonlWriter::new(&mut inner);
+            sink.record(rec(1, 0));
+            assert_eq!(inner_len(&sink), 1, "line should be buffered");
+            assert!(sink.drain().is_empty());
+            let _ = sink.into_inner();
+        }
+        assert_eq!(
+            String::from_utf8(inner.bytes).unwrap().lines().count(),
+            1,
+            "drain must push buffered lines"
+        );
+    }
+
+    /// Peek at how many lines a writer is holding (test-only).
+    fn inner_len<W: io::Write + Send>(w: &JsonlWriter<W>) -> u64 {
+        w.pending
+    }
+
+    /// A writer that always fails.
+    struct FailWriter;
+
+    impl io::Write for FailWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_counts_failed_batches_as_dropped() {
+        let mut sink = JsonlWriter::new(FailWriter);
+        sink.record(rec(1, 0));
+        sink.record(rec(2, 1));
+        let _ = sink.drain();
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.written(), 0, "failed lines leave the written count");
     }
 
     #[test]

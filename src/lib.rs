@@ -27,6 +27,7 @@
 //! | [`proxy`] | HTTP and SPDY proxy cores + §6.1 variants |
 //! | [`workload`] | Table 1 corpus, page synthesis, visit schedules |
 //! | [`trace`] | flight recorder: typed event bus, sinks, metrics registry |
+//! | [`prof`] | host-side self-profiler: counting allocator, spans, sweep heartbeats |
 //! | [`core`] | the assembled testbed driver and experiment configs |
 //! | [`experiments`] | regenerate every paper table/figure |
 //!
@@ -55,6 +56,7 @@ pub use spdyier_experiments as experiments;
 pub use spdyier_http as http;
 pub use spdyier_net as net;
 pub use spdyier_origin as origin;
+pub use spdyier_prof as prof;
 pub use spdyier_proxy as proxy;
 pub use spdyier_sim as sim;
 pub use spdyier_spdy as spdy;
