@@ -5,20 +5,25 @@
 //! alternating modes for `--reps` repetitions and scoring each mode by
 //! its *minimum* wall time (single-shot timings on shared hosts carry
 //! several percent of noise — more than the overhead being measured).
-//! Writes `BENCH_PR6.json` with events/second, allocations per
+//! Writes `BENCH_PR7.json` with events/second, allocations per
 //! simulated visit, the per-subsystem self-time and allocation
 //! breakdown, and the measured profiling overhead. The run exits
 //! nonzero if:
 //!
 //! - the two modes' run results diverge (the profiler must be invisible
 //!   to the simulation),
-//! - profiling overhead exceeds `--max-overhead` (default 5%), or
+//! - profiling overhead exceeds `--max-overhead` (default 5%),
 //! - the disabled-mode events/second falls below `--min-events-ratio`
-//!   (default 0.8) of the committed baseline's.
+//!   (default 0.8) of the committed baseline's, or
+//! - allocations per visit exceed `--max-allocs-ratio` (default 1.02)
+//!   of the committed baseline's ceiling (alloc counts are
+//!   deterministic up to environment-size jitter, so the tolerance is
+//!   tight).
 //!
 //! ```text
 //! sweep_bench [--seeds N] [--reps N] [--out FILE] [--baseline FILE]
 //!             [--max-overhead PCT] [--min-events-ratio R]
+//!             [--max-allocs-ratio R]
 //! ```
 
 use spdyier_core::NetworkKind;
@@ -83,6 +88,14 @@ fn run_child(seeds: u64, profiled: bool) {
             "subsys.{name}={},{},{},{}",
             s.self_ns, s.allocs, s.calls, s.alloc_bytes
         );
+    }
+    if std::env::var("SWEEP_BENCH_SPANS").is_ok() {
+        for (name, s) in &sweep.profile.spans {
+            println!(
+                "span.{name}={},{},{},{}",
+                s.self_ns, s.allocs, s.calls, s.alloc_bytes
+            );
+        }
     }
 }
 
@@ -207,10 +220,11 @@ fn main() {
 
     let mut seeds = 2u64;
     let mut reps = 2u32;
-    let mut out_path = String::from("BENCH_PR6.json");
-    let mut baseline_path = String::from("BENCH_PR6.json");
+    let mut out_path = String::from("BENCH_PR7.json");
+    let mut baseline_path = String::from("BENCH_PR7.json");
     let mut max_overhead = 5.0f64;
     let mut min_events_ratio = 0.8f64;
+    let mut max_allocs_ratio = 1.02f64;
     let mut i = 0;
     while i < args.len() {
         let take = |a: &Option<&String>, what: &str| -> String {
@@ -246,10 +260,16 @@ fn main() {
                     .expect("--min-events-ratio");
                 i += 2;
             }
+            "--max-allocs-ratio" => {
+                max_allocs_ratio = take(&args.get(i + 1), "--max-allocs-ratio")
+                    .parse()
+                    .expect("--max-allocs-ratio");
+                i += 2;
+            }
             other => {
                 eprintln!(
                     "usage: sweep_bench [--seeds N] [--reps N] [--out FILE] [--baseline FILE] \
-                     [--max-overhead PCT] [--min-events-ratio R]"
+                     [--max-overhead PCT] [--min-events-ratio R] [--max-allocs-ratio R]"
                 );
                 panic!("unknown argument {other}");
             }
@@ -257,9 +277,13 @@ fn main() {
     }
 
     // Read the committed baseline *before* the run may overwrite it.
-    let baseline_events_per_sec = std::fs::read_to_string(&baseline_path)
-        .ok()
-        .and_then(|text| baseline_number(&text, "events_per_sec"));
+    let baseline_text = std::fs::read_to_string(&baseline_path).ok();
+    let baseline_events_per_sec = baseline_text
+        .as_deref()
+        .and_then(|text| baseline_number(text, "events_per_sec"));
+    let baseline_allocs_per_visit = baseline_text
+        .as_deref()
+        .and_then(|text| baseline_number(text, "allocs_per_visit"));
 
     // Alternate modes and keep each mode's fastest rep: host noise on a
     // ~10 s run easily exceeds the few-percent overhead being measured,
@@ -350,6 +374,23 @@ fn main() {
             }
         }
         _ => println!("no baseline at {baseline_path}; skipping events/s gate"),
+    }
+    match baseline_allocs_per_visit {
+        Some(ceiling) if ceiling > 0.0 => {
+            let limit = ceiling * max_allocs_ratio;
+            if allocs_per_visit > limit {
+                eprintln!(
+                    "FAIL: allocs/visit grew to {allocs_per_visit:.0}, above the committed \
+                     ceiling {ceiling:.0} x {max_allocs_ratio:.2} = {limit:.0}"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "allocs/visit vs ceiling: {allocs_per_visit:.0} <= {ceiling:.0} x {max_allocs_ratio:.2}"
+                );
+            }
+        }
+        _ => println!("no baseline at {baseline_path}; skipping allocs/visit gate"),
     }
     if failed {
         std::process::exit(1);

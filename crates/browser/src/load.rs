@@ -16,6 +16,7 @@ use crate::timing::ObjectTiming;
 use spdyier_sim::{SimDuration, SimTime};
 use spdyier_workload::{ObjectId, WebPage};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Lifecycle phase of one object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,9 +35,16 @@ pub enum Phase {
 }
 
 /// One page load in progress.
+///
+/// The page is held behind an [`Arc`] so the driver can share it with
+/// its own per-visit state without cloning the object table, and the
+/// per-object bookkeeping vectors can be recycled across visits via
+/// [`PageLoad::reset`] — a sweep cell loads thousands of pages, and
+/// re-allocating phase/timing tables per visit dominated the
+/// control-plane allocation profile.
 #[derive(Debug)]
 pub struct PageLoad {
-    page: WebPage,
+    page: Arc<WebPage>,
     start: SimTime,
     phases: Vec<Phase>,
     timings: Vec<ObjectTiming>,
@@ -52,7 +60,8 @@ pub struct PageLoad {
 impl PageLoad {
     /// Begin loading `page` at `now`; the root document is immediately
     /// ready to request.
-    pub fn new(page: WebPage, now: SimTime) -> PageLoad {
+    pub fn new(page: impl Into<Arc<WebPage>>, now: SimTime) -> PageLoad {
+        let page = page.into();
         let n = page.object_count();
         let mut load = PageLoad {
             page,
@@ -68,8 +77,31 @@ impl PageLoad {
         load
     }
 
+    /// Rebind this load to a fresh `page` starting at `now`, reusing the
+    /// already-allocated phase/timing/queue buffers. Equivalent to
+    /// [`PageLoad::new`] in every observable way.
+    pub fn reset(&mut self, page: impl Into<Arc<WebPage>>, now: SimTime) {
+        self.page = page.into();
+        let n = self.page.object_count();
+        self.start = now;
+        self.phases.clear();
+        self.phases.resize(n, Phase::Hidden);
+        self.timings.clear();
+        self.timings.resize(n, ObjectTiming::default());
+        self.ready.clear();
+        self.eval_queue.clear();
+        self.evaluating = None;
+        self.onload = None;
+        self.discover(ObjectId(0), now);
+    }
+
     /// The page being loaded.
     pub fn page(&self) -> &WebPage {
+        &self.page
+    }
+
+    /// Shared handle to the page being loaded.
+    pub fn page_arc(&self) -> &Arc<WebPage> {
         &self.page
     }
 
@@ -167,7 +199,10 @@ impl PageLoad {
             }
             self.evaluating = None;
             self.phases[id.0 as usize] = Phase::Done;
-            for child in self.page.children_of(id) {
+            // Cheap handle clone so the child walk can run while
+            // `discover` mutates the bookkeeping (no per-call id Vec).
+            let page = Arc::clone(&self.page);
+            for child in page.children_iter(id) {
                 if self.phases[child.0 as usize] == Phase::Hidden {
                     self.discover(child, finish);
                     discovered.push(child);
@@ -393,6 +428,22 @@ mod tests {
         load.note_complete(ObjectId(0), t(10));
         load.note_complete(ObjectId(0), t(20)); // duplicate
         assert_eq!(load.timings()[0].complete, Some(t(10)));
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_matches_fresh_load() {
+        // A load recycled with `reset` must behave identically to a
+        // freshly constructed one on a different page.
+        let first = synthesize(SiteSpec::by_index(3).unwrap(), &mut DetRng::new(7));
+        let second = synthesize(SiteSpec::by_index(9).unwrap(), &mut DetRng::new(8));
+        let mut recycled = drive(PageLoad::new(first, t(0)), 60);
+        assert!(recycled.is_complete());
+        recycled.reset(second.clone(), t(5));
+        let recycled = drive(recycled, 60);
+        let fresh = drive(PageLoad::new(second, t(5)), 60);
+        assert_eq!(recycled.start_time(), fresh.start_time());
+        assert_eq!(recycled.onload_time(), fresh.onload_time());
+        assert_eq!(recycled.timings(), fresh.timings());
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub struct Testbed {
     /// Re-entrancy guard: object assignment must not act on a stale ready
     /// snapshot if reached from within itself.
     assigning: bool,
+    /// Reusable scratch for the ready-object snapshot the assignment
+    /// sweep takes (the sweep re-runs on every unblocking event).
+    ready_buf: Vec<ObjectId>,
     last_inflight: f64,
     result: RunResult,
     ended: bool,
@@ -99,6 +102,7 @@ impl Testbed {
             side,
             origin: OriginServers::new(OriginConfig::default()),
             assigning: false,
+            ready_buf: Vec::new(),
             last_inflight: -1.0,
             result,
             ended: false,
@@ -391,13 +395,20 @@ impl Testbed {
         if load.is_complete() {
             return;
         }
-        let ready: Vec<ObjectId> = load.ready_objects().collect();
+        let mut ready = std::mem::take(&mut self.ready_buf);
+        ready.clear();
+        ready.extend(load.ready_objects());
         if ready.is_empty() {
+            self.ready_buf = ready;
             return;
         }
         self.assigning = true;
-        with_side!(self, side, ctx, side.assign_ready(&mut ctx, ready));
+        {
+            let _span = spdyier_prof::scope("session.assign");
+            with_side!(self, side, ctx, side.assign_ready(&mut ctx, &ready));
+        }
         self.assigning = false;
+        self.ready_buf = ready;
     }
 
     // ----- Visit lifecycle and sampling -----

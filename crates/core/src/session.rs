@@ -11,7 +11,7 @@
 
 use crate::config::{ExperimentConfig, ProtocolMode};
 use crate::results::RunResult;
-use crate::visits::{browser_headers, Visits, BEACON_TAG};
+use crate::visits::{Visits, BEACON_TAG};
 use crate::world::{Event, World};
 use spdyier_bytes::Payload;
 use spdyier_http::{
@@ -330,42 +330,43 @@ impl HttpSide {
     /// Assign ready page objects to pooled connections (Chrome-style
     /// per-domain reuse, an 8-handshake concurrency throttle, optional
     /// pipelining).
-    pub fn assign_ready(&mut self, ctx: &mut SessionCtx<'_>, ready: Vec<ObjectId>) {
+    pub fn assign_ready(&mut self, ctx: &mut SessionCtx<'_>, ready: &[ObjectId]) {
         // Chrome throttles concurrent connection attempts; without this a
         // discovery wave would fire 30+ simultaneous handshakes and
         // synchronized slow-starts into the access queue.
         let mut connecting = ctx
             .world
-            .pipes
+            .live
             .iter()
+            .map(|&i| &ctx.world.pipes[i])
             .filter(|p| {
-                !p.closed
-                    && p.over_access
+                p.over_access
                     && matches!(p.role, PipeRole::HttpClient { .. })
                     && !p.a.is_established()
             })
             .count();
-        for obj in ready {
-            let domain = {
-                let Some(page) = ctx.visits.current_page.as_ref() else {
-                    return;
-                };
-                page.object(obj).domain.clone()
-            };
+        // Shared handle so each object borrows its domain instead of
+        // cloning it — this sweep re-runs on every unblocking event and
+        // most passes assign nothing.
+        let Some(page) = ctx.visits.current_page.clone() else {
+            return;
+        };
+        for &obj in ready {
+            let domain = page.object(obj).domain.as_str();
             // With pipelining enabled, stack further requests onto a
             // connection to this domain that still has pipeline slots.
             if ctx.cfg.http_pipelining > 1 {
                 let depth = ctx.cfg.http_pipelining;
-                let slot = ctx.world.pipes.iter().position(|p| {
-                    !p.closed
-                        && matches!(&p.role,
+                let slot = ctx.world.live.iter().copied().find(|&i| {
+                    let p = &ctx.world.pipes[i];
+                    matches!(&p.role,
                             PipeRole::HttpClient { outstanding, pending, retired: false, .. }
                                 if outstanding.len() + pending.len() < depth
                                     && (!outstanding.is_empty() || !pending.is_empty()))
                         && self.pool.domain_of(match &p.role {
                             PipeRole::HttpClient { pool_id, .. } => *pool_id,
                             _ => unreachable!(),
-                        }) == Some(domain.as_str())
+                        }) == Some(domain)
                 });
                 if let Some(pipe) = slot {
                     if let Some(load) = ctx.visits.load.as_mut() {
@@ -380,7 +381,7 @@ impl HttpSide {
                 }
             }
             loop {
-                match self.pool.acquire(&domain) {
+                match self.pool.acquire(domain) {
                     Acquire::Reuse(pid) => {
                         let Some(pipe) = self.pipe_for_pool(ctx.world, pid) else {
                             self.pool.remove(pid);
@@ -445,9 +446,8 @@ impl HttpSide {
     }
 
     fn pipe_for_pool(&self, world: &World, pid: PoolConnId) -> Option<usize> {
-        world.pipes.iter().position(|p| {
-            !p.closed
-                && matches!(&p.role, PipeRole::HttpClient { pool_id, retired, .. }
+        world.live.iter().copied().find(|&i| {
+            matches!(&world.pipes[i].role, PipeRole::HttpClient { pool_id, retired, .. }
                     if *pool_id == pid && !retired)
         })
     }
@@ -518,9 +518,9 @@ impl HttpSide {
         let Some(size) = ctx.cfg.beacon.map(|b| b.size) else {
             return;
         };
-        let target = ctx.world.pipes.iter().position(|p| {
-            !p.closed
-                && p.b.is_established()
+        let target = ctx.world.live.iter().copied().find(|&i| {
+            let p = &ctx.world.pipes[i];
+            p.b.is_established()
                 && matches!(
                     &p.role,
                     PipeRole::HttpClient { outstanding, pending, retired: false, .. }
@@ -551,25 +551,23 @@ impl HttpSide {
     /// `max_idle`.
     pub fn idle_sweep(&mut self, world: &mut World, max_idle: SimDuration) {
         let stale: Vec<usize> = world
-            .pipes
+            .live
             .iter()
-            .enumerate()
-            .filter(|(_, p)| {
-                !p.closed
-                    && matches!(
-                        &p.role,
-                        PipeRole::HttpClient {
-                            outstanding,
-                            pending,
-                            retired: false,
-                            last_use,
-                            ..
-                        } if outstanding.is_empty()
-                            && pending.is_empty()
-                            && world.now.saturating_since(*last_use) >= max_idle
-                    )
+            .copied()
+            .filter(|&i| {
+                matches!(
+                    &world.pipes[i].role,
+                    PipeRole::HttpClient {
+                        outstanding,
+                        pending,
+                        retired: false,
+                        last_use,
+                        ..
+                    } if outstanding.is_empty()
+                        && pending.is_empty()
+                        && world.now.saturating_since(*last_use) >= max_idle
+                )
             })
-            .map(|(i, _)| i)
             .collect();
         for i in stale {
             self.retire_http_pipe(world, i);
@@ -871,11 +869,11 @@ impl SpdySide {
     }
 
     /// Assign ready page objects round-robin over usable sessions.
-    pub fn assign_ready(&mut self, ctx: &mut SessionCtx<'_>, ready: Vec<ObjectId>) {
+    pub fn assign_ready(&mut self, ctx: &mut SessionCtx<'_>, ready: &[ObjectId]) {
         if self.clients.is_empty() {
             return;
         }
-        for obj in ready {
+        for &obj in ready {
             // Round-robin over usable sessions.
             let n = self.clients.len();
             let mut chosen = None;
@@ -903,10 +901,12 @@ impl SpdySide {
                 (":path".to_string(), path),
                 (":scheme".to_string(), "https".to_string()),
             ];
-            headers.extend(browser_headers(&domain));
-            let stream = self.clients[sidx]
-                .session
-                .open_stream(headers, priority, true);
+            headers.extend(ctx.visits.cached_headers(&domain).iter().cloned());
+            let stream = {
+                self.clients[sidx]
+                    .session
+                    .open_stream(headers, priority, true)
+            };
             self.clients[sidx]
                 .streams
                 .insert(stream, (ctx.visits.visit_gen, u64::from(obj.0), false));
@@ -936,7 +936,7 @@ impl SpdySide {
                 (":host".to_string(), domain.clone()),
                 (":path".to_string(), "/beacon.gif".to_string()),
             ];
-            headers.extend(browser_headers(&domain));
+            headers.extend(ctx.visits.cached_headers(&domain).iter().cloned());
             let stream = self.clients[sidx].session.open_stream(headers, 4, true);
             self.clients[sidx]
                 .streams
@@ -1104,7 +1104,7 @@ impl Side {
     }
 
     /// Assign ready page objects to connections/streams.
-    pub fn assign_ready(&mut self, ctx: &mut SessionCtx<'_>, ready: Vec<ObjectId>) {
+    pub fn assign_ready(&mut self, ctx: &mut SessionCtx<'_>, ready: &[ObjectId]) {
         match self {
             Side::Http(h) => h.assign_ready(ctx, ready),
             Side::Spdy(s) => s.assign_ready(ctx, ready),

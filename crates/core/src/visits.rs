@@ -17,6 +17,8 @@ use spdyier_origin::OriginServers;
 use spdyier_sim::{EventId, SimTime};
 use spdyier_trace::{TraceEvent, TraceLevel};
 use spdyier_workload::{synthesize, ObjectId, SiteSpec, WebPage};
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Sentinel tag for beacon (non-page) requests.
 pub(crate) const BEACON_TAG: u64 = u64::MAX;
@@ -36,8 +38,16 @@ pub(crate) struct Visits {
     pub current_visit: Option<usize>,
     /// The in-progress page load.
     pub load: Option<PageLoad>,
-    /// The page being loaded.
-    pub current_page: Option<WebPage>,
+    /// Carcass of the previous visit's load, kept so its per-object
+    /// phase/timing buffers are reused instead of re-allocated — a sweep
+    /// cell runs many visits back to back.
+    spare_load: Option<PageLoad>,
+    /// The page being loaded (shared with [`Visits::load`], not cloned).
+    pub current_page: Option<Arc<WebPage>>,
+    /// Per-host rendered browser header sets; the handful of domains a
+    /// run touches makes a linear scan cheaper than rebuilding the
+    /// cookie and header strings on every request.
+    header_cache: Vec<(String, Vec<(String, String)>)>,
     /// Armed browser parse/execute timer.
     pub browser_timer: Option<EventId>,
     /// When the next scheduled visit begins (beacons must not outlive the
@@ -56,7 +66,9 @@ impl Visits {
             visit_gen: 0,
             current_visit: None,
             load: None,
+            spare_load: None,
             current_page: None,
+            header_cache: Vec::new(),
             browser_timer: None,
             next_visit_start: SimTime::MAX,
             beacon_domain: None,
@@ -128,7 +140,7 @@ impl Visits {
 
     /// Build the on-the-wire request for a tagged object (or beacon).
     /// `None` for stale generations — the caller drops the request.
-    pub fn request_for(&self, generation: u64, tag: u64) -> Option<Request> {
+    pub fn request_for(&mut self, generation: u64, tag: u64) -> Option<Request> {
         let (host, path) = if tag == BEACON_TAG {
             (self.beacon_domain.clone()?, "/beacon.gif".to_string())
         } else {
@@ -139,9 +151,21 @@ impl Visits {
             let obj = page.objects.get(tag as usize)?;
             (obj.domain.clone(), obj.path.clone())
         };
-        let mut req = Request::get(host.clone(), path);
-        req.headers = browser_headers(&host);
+        let headers = self.cached_headers(&host).to_vec();
+        let mut req = Request::get(host, path);
+        req.headers = headers;
         Some(req)
+    }
+
+    /// The standard browser header set for `host`, rendered once per host
+    /// and served from a per-run cache thereafter.
+    pub fn cached_headers(&mut self, host: &str) -> &[(String, String)] {
+        if let Some(i) = self.header_cache.iter().position(|(h, _)| h == host) {
+            return &self.header_cache[i].1;
+        }
+        self.header_cache
+            .push((host.to_string(), browser_headers(host)));
+        &self.header_cache.last().expect("just pushed").1
     }
 
     // ------------------------------------------------------------------
@@ -212,8 +236,15 @@ impl Visits {
                 site: site as usize,
             },
         );
-        self.current_page = Some(page.clone());
-        self.load = Some(PageLoad::new(page, world.now));
+        let page = Arc::new(page);
+        self.current_page = Some(Arc::clone(&page));
+        self.load = Some(match self.spare_load.take() {
+            Some(mut spare) => {
+                spare.reset(page, world.now);
+                spare
+            }
+            None => PageLoad::new(page, world.now),
+        });
         world.queue.schedule(
             world.now + cfg.visit_timeout,
             Event::VisitDeadline {
@@ -241,6 +272,7 @@ impl Visits {
             return;
         };
         let Some(visit) = self.current_visit.take() else {
+            self.spare_load = Some(load);
             return;
         };
         if let Some(old) = self.browser_timer.take() {
@@ -278,6 +310,7 @@ impl Visits {
             total_bytes: page.total_bytes(),
         });
         self.beacon_domain = Some(page.root().domain.clone());
+        self.spare_load = Some(load);
         self.beacons_fired = 0;
         if let Some(beacon) = cfg.beacon {
             if beacon.max_per_visit > 0 {
@@ -316,10 +349,13 @@ pub(crate) fn browser_headers(host: &str) -> Vec<(String, String)> {
         .iter()
         .fold(0u64, |a, &b| a.wrapping_mul(131).wrapping_add(b as u64));
     for i in 0..10u64 {
-        cookie.push_str(&format!(
+        // write! appends in place; format! would allocate a temporary
+        // per segment on what used to be a per-request path.
+        let _ = write!(
+            cookie,
             "{:016x}",
             h.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15))
-        ));
+        );
     }
     vec![
         (

@@ -129,6 +129,11 @@ pub(crate) struct World {
     pub wired: DuplexPath,
     /// All pipes ever opened this run (index-stable).
     pub pipes: Vec<Pipe>,
+    /// Indices of not-yet-closed pipes, ascending. Maintained by
+    /// [`World::new_pipe`]/[`World::harvest_pipe`] so per-event sweeps
+    /// (handshake throttle counts, pool scans) skip the ever-growing
+    /// tail of closed pipes.
+    pub live: Vec<usize>,
     /// Pipes with pending service work, in discovery order.
     pub dirty: VecDeque<usize>,
     /// Cross-connection ssthresh/RTT cache (§6.2.4).
@@ -168,6 +173,7 @@ impl World {
             access,
             wired: net_presets::cloud_wired(2),
             pipes: Vec::new(),
+            live: Vec::new(),
             dirty: VecDeque::new(),
             metrics_cache: TcpMetricsCache::new(),
             tracer: Tracer::for_level(cfg.trace_level),
@@ -247,6 +253,7 @@ impl World {
         if over_access {
             result.connections_opened += 1;
         }
+        self.live.push(idx);
         self.mark_dirty(idx);
         idx
     }
@@ -541,6 +548,11 @@ impl World {
             return;
         }
         self.pipes[idx].closed = true;
+        // Ordered remove keeps `live` ascending so position-based scans
+        // over it find the same first match as a scan over `pipes`.
+        if let Ok(i) = self.live.binary_search(&idx) {
+            self.live.remove(i);
+        }
         self.tracer
             .emit(self.now, TraceEvent::ConnClosed { conn: idx });
         if let Some(t) = self.pipes[idx].a_timer.take() {
@@ -563,9 +575,10 @@ impl World {
 
     /// Total unacknowledged proxy→device bytes across open access pipes.
     pub fn inflight_total(&self) -> u64 {
-        self.pipes
+        self.live
             .iter()
-            .filter(|p| p.over_access && !p.closed)
+            .map(|&i| &self.pipes[i])
+            .filter(|p| p.over_access)
             .map(|p| p.b.bytes_in_flight())
             .sum()
     }
@@ -582,10 +595,8 @@ impl World {
         let mut idle: Option<usize> = None;
         let mut count = 0usize;
         let mut least_loaded: Option<(usize, usize)> = None;
-        for (i, p) in self.pipes.iter().enumerate() {
-            if p.closed {
-                continue;
-            }
+        for &i in &self.live {
+            let p = &self.pipes[i];
             if let PipeRole::Origin {
                 domain: d,
                 current,

@@ -7,7 +7,6 @@
 //! when a new one may be opened.
 
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// Pool limits (Chrome defaults from the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -44,17 +43,35 @@ pub enum Acquire {
 
 #[derive(Debug)]
 struct ConnInfo {
-    domain: String,
+    /// Index into [`ConnectionPool::domains`].
+    domain_ix: u32,
     busy: bool,
     /// Monotone counter value at last use (for LRU eviction).
     last_used: u64,
 }
 
 /// Connection pool bookkeeping.
+///
+/// Storage is a flat `Vec` rather than a map: the pool holds at most
+/// [`PoolConfig::total`] (32) entries and the browser re-runs
+/// `acquire` for every still-blocked ready object on every unblocking
+/// event, so a cache-friendly linear scan beats hashing. Selection by
+/// `last_used` is order-independent because the use counter is strictly
+/// monotone (no ties), so scan order cannot change which connection is
+/// reused or evicted.
 #[derive(Debug)]
 pub struct ConnectionPool {
     cfg: PoolConfig,
-    conns: HashMap<PoolConnId, ConnInfo>,
+    conns: Vec<(PoolConnId, ConnInfo)>,
+    /// Interned domain names. Connections store an index so the hot
+    /// acquire/remove cycle (every throttled connection attempt) never
+    /// copies the domain string; the workload only has a handful of
+    /// distinct domains, so the linear intern scan is cheap.
+    domains: Vec<String>,
+    /// Open-connection count per interned domain (index-aligned with
+    /// `domains`), maintained on insert/remove so `acquire` need not
+    /// rescan.
+    domain_counts: Vec<usize>,
     next_id: u64,
     use_counter: u64,
 }
@@ -64,9 +81,22 @@ impl ConnectionPool {
     pub fn new(cfg: PoolConfig) -> ConnectionPool {
         ConnectionPool {
             cfg,
-            conns: HashMap::new(),
+            conns: Vec::new(),
+            domains: Vec::new(),
+            domain_counts: Vec::new(),
             next_id: 0,
             use_counter: 0,
+        }
+    }
+
+    fn intern(&mut self, domain: &str) -> u32 {
+        match self.domains.iter().position(|d| d == domain) {
+            Some(i) => i as u32,
+            None => {
+                self.domains.push(domain.to_owned());
+                self.domain_counts.push(0);
+                (self.domains.len() - 1) as u32
+            }
         }
     }
 
@@ -75,58 +105,71 @@ impl ConnectionPool {
     /// caller may [`ConnectionPool::evict_idle`] to make room globally).
     pub fn acquire(&mut self, domain: &str) -> Acquire {
         self.use_counter += 1;
+        let ix = self.intern(domain);
         // Reuse the most-recently-used idle connection to this domain
         // (warm cwnd beats cold).
-        if let Some((&id, _)) = self
-            .conns
-            .iter()
-            .filter(|(_, c)| c.domain == domain && !c.busy)
-            .max_by_key(|(_, c)| c.last_used)
-        {
-            let info = self.conns.get_mut(&id).expect("just found");
+        let mut best = None;
+        let mut best_used = 0;
+        for (i, (_, c)) in self.conns.iter().enumerate() {
+            if c.domain_ix == ix && !c.busy && (best.is_none() || c.last_used > best_used) {
+                best = Some(i);
+                best_used = c.last_used;
+            }
+        }
+        if let Some(i) = best {
+            let (id, info) = &mut self.conns[i];
             info.busy = true;
             info.last_used = self.use_counter;
-            return Acquire::Reuse(id);
+            return Acquire::Reuse(*id);
         }
-        let domain_count = self.count_for_domain(domain);
-        if domain_count >= self.cfg.per_domain || self.conns.len() >= self.cfg.total {
+        if self.domain_counts[ix as usize] >= self.cfg.per_domain
+            || self.conns.len() >= self.cfg.total
+        {
             return Acquire::Blocked;
         }
         let id = PoolConnId(self.next_id);
         self.next_id += 1;
-        self.conns.insert(
+        self.domain_counts[ix as usize] += 1;
+        self.conns.push((
             id,
             ConnInfo {
-                domain: domain.to_owned(),
+                domain_ix: ix,
                 busy: true,
                 last_used: self.use_counter,
             },
-        );
+        ));
         Acquire::Open(id)
     }
 
     /// A request on `id` completed; the connection is idle and reusable.
     pub fn release(&mut self, id: PoolConnId) {
-        if let Some(c) = self.conns.get_mut(&id) {
+        if let Some((_, c)) = self.conns.iter_mut().find(|(cid, _)| *cid == id) {
             c.busy = false;
         }
     }
 
     /// The connection was closed (by either side); forget it.
     pub fn remove(&mut self, id: PoolConnId) {
-        self.conns.remove(&id);
+        if let Some(i) = self.conns.iter().position(|(cid, _)| *cid == id) {
+            let (_, c) = self.conns.remove(i);
+            self.domain_counts[c.domain_ix as usize] -= 1;
+        }
     }
 
     /// Least-recently-used idle connection across all domains, for
     /// eviction when the global cap blocks a new domain.
     pub fn evict_idle(&mut self) -> Option<PoolConnId> {
-        let id = self
-            .conns
-            .iter()
-            .filter(|(_, c)| !c.busy)
-            .min_by_key(|(_, c)| c.last_used)
-            .map(|(&id, _)| id)?;
-        self.conns.remove(&id);
+        let mut best = None;
+        let mut best_used = u64::MAX;
+        for (i, (_, c)) in self.conns.iter().enumerate() {
+            if !c.busy && c.last_used < best_used {
+                best = Some(i);
+                best_used = c.last_used;
+            }
+        }
+        let i = best?;
+        let (id, c) = self.conns.remove(i);
+        self.domain_counts[c.domain_ix as usize] -= 1;
         Some(id)
     }
 
@@ -137,7 +180,10 @@ impl ConnectionPool {
 
     /// Open + busy connections to `domain`.
     pub fn count_for_domain(&self, domain: &str) -> usize {
-        self.conns.values().filter(|c| c.domain == domain).count()
+        match self.domains.iter().position(|d| d == domain) {
+            Some(ix) => self.domain_counts[ix],
+            None => 0,
+        }
     }
 
     /// All connections currently open.
@@ -147,12 +193,15 @@ impl ConnectionPool {
 
     /// Busy connections currently serving requests.
     pub fn busy(&self) -> usize {
-        self.conns.values().filter(|c| c.busy).count()
+        self.conns.iter().filter(|(_, c)| c.busy).count()
     }
 
     /// The domain a connection serves.
     pub fn domain_of(&self, id: PoolConnId) -> Option<&str> {
-        self.conns.get(&id).map(|c| c.domain.as_str())
+        self.conns
+            .iter()
+            .find(|(cid, _)| *cid == id)
+            .map(|(_, c)| self.domains[c.domain_ix as usize].as_str())
     }
 }
 

@@ -67,5 +67,10 @@ pub fn enabled() -> bool {
 /// and guards opened while enabled record normally even if the switch
 /// flips before they drop.
 pub fn set_enabled(on: bool) {
+    if on {
+        // One-time ~5 ms tick-rate calibration, paid here rather than
+        // inside the first recorded span.
+        scope::calibrate_ticks();
+    }
     ENABLED.store(on, Ordering::Relaxed);
 }

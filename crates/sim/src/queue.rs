@@ -1,45 +1,76 @@
 //! The discrete-event queue.
 //!
 //! A priority queue of `(SimTime, E)` pairs with stable FIFO ordering for
-//! events scheduled at the same instant, plus O(1) lazy cancellation — the
-//! combination every protocol timer implementation needs.
+//! events scheduled at the same instant, plus O(log n) *in-place*
+//! cancellation — the combination every protocol timer implementation
+//! needs. Events live in a free-list slab and the heap stores slot
+//! indices with back-pointers, so a connection that cancels and
+//! reschedules its RTO timer millions of times reuses the same handful
+//! of slots instead of growing the heap without bound (the failure mode
+//! of the earlier lazy-cancellation design, where a cancelled entry was
+//! only reclaimed once it surfaced at the head).
 
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// The handle is a generation-tagged slot index: the low 32 bits name a
+/// slab slot, the high 32 bits carry the generation the slot had when
+/// the event was scheduled. Slots are recycled, generations are not —
+/// a stale handle (its event fired or was cancelled, and the slot has
+/// since been reused) fails the generation check and behaves exactly
+/// like a cancelled id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
-#[derive(PartialEq, Eq)]
-struct Entry {
+impl EventId {
+    fn new(slot: u32, gen: u32) -> EventId {
+        EventId((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Free-list terminator for [`Slot::pos_or_next`].
+const NIL: u32 = u32::MAX;
+
+/// One slab slot. Live slots hold the event plus its heap position;
+/// free slots chain into the free list through `pos_or_next`.
+struct Slot<E> {
+    /// Bumped every time the slot is released, invalidating old handles.
+    gen: u32,
+    /// Live: index of this slot's entry in `heap`. Free: next free slot
+    /// (or [`NIL`]).
+    pos_or_next: u32,
+    /// Scheduled instant (live slots only).
     time: SimTime,
+    /// Insertion order, the same-instant FIFO tiebreaker (live only).
     seq: u64,
-}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Earlier time first; ties broken by insertion order (seq) so that
-        // same-instant events fire in the order they were scheduled.
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+    /// `Some` while live, `None` while free.
+    event: Option<E>,
 }
 
 /// A deterministic discrete-event queue.
 ///
 /// Events of type `E` are scheduled for a [`SimTime`] and popped in
-/// chronological order. Scheduling returns an [`EventId`] that can cancel the
-/// event later (lazy cancellation: the heap entry is skipped at pop time).
+/// chronological order; events scheduled at the same instant pop in the
+/// order they were scheduled. Scheduling returns an [`EventId`] that can
+/// cancel the event later; cancellation removes the heap entry in place
+/// and returns the slot to the free list, so internal capacity tracks
+/// the *live* event count, not the schedule/cancel churn.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry>>,
-    live: HashMap<u64, E>,
+    /// Slot slab; never shrinks, but never grows past peak liveness.
+    slots: Vec<Slot<E>>,
+    /// Head of the free-slot list ([`NIL`] when all slots are live).
+    free_head: u32,
+    /// Min-heap of slot indices ordered by `(time, seq)`.
+    heap: Vec<u32>,
     next_seq: u64,
 }
 
@@ -53,8 +84,9 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            live: HashMap::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            heap: Vec::new(),
             next_seq: 0,
         }
     }
@@ -63,55 +95,154 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq }));
-        self.live.insert(seq, event);
-        EventId(seq)
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head as usize;
+            let s = &mut self.slots[slot];
+            self.free_head = s.pos_or_next;
+            s.time = time;
+            s.seq = seq;
+            s.event = Some(event);
+            slot
+        } else {
+            assert!(self.slots.len() < NIL as usize, "event slab exhausted");
+            self.slots.push(Slot {
+                gen: 0,
+                pos_or_next: NIL,
+                time,
+                seq,
+                event: Some(event),
+            });
+            self.slots.len() - 1
+        };
+        let pos = self.heap.len();
+        self.heap.push(slot as u32);
+        self.slots[slot].pos_or_next = pos as u32;
+        self.sift_up(pos);
+        EventId::new(slot as u32, self.slots[slot].gen)
     }
 
     /// Cancel a previously scheduled event. Returns the event if it had not
     /// yet fired (or been cancelled).
     pub fn cancel(&mut self, id: EventId) -> Option<E> {
-        self.live.remove(&id.0)
+        if !self.is_pending(id) {
+            return None;
+        }
+        let slot = id.slot();
+        let pos = self.slots[slot].pos_or_next as usize;
+        self.remove_heap_entry(pos);
+        Some(self.release(slot))
     }
 
     /// True if the event is still pending.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.live.contains_key(&id.0)
+        self.slots
+            .get(id.slot())
+            .is_some_and(|s| s.gen == id.gen() && s.event.is_some())
     }
 
     /// The time of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.heap
+            .first()
+            .map(|&slot| self.slots[slot as usize].time)
     }
 
     /// Pop the next live event in chronological (then FIFO) order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.skip_cancelled();
-        let Reverse(entry) = self.heap.pop()?;
-        let event = self
-            .live
-            .remove(&entry.seq)
-            .expect("skip_cancelled guarantees the head entry is live");
-        Some((entry.time, event))
+        let slot = *self.heap.first()? as usize;
+        self.remove_heap_entry(0);
+        let time = self.slots[slot].time;
+        Some((time, self.release(slot)))
     }
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.heap.len()
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.heap.is_empty()
     }
 
-    fn skip_cancelled(&mut self) {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.live.contains_key(&entry.seq) {
+    /// How many slab slots the queue has ever allocated. Tracks *peak*
+    /// concurrent liveness, not schedule/cancel churn — the regression
+    /// surface for the unbounded-growth bug the slab design fixes.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Take the event out of `slot` and push the slot onto the free list.
+    fn release(&mut self, slot: usize) -> E {
+        let s = &mut self.slots[slot];
+        let event = s.event.take().expect("releasing a free slot");
+        s.gen = s.gen.wrapping_add(1);
+        s.pos_or_next = self.free_head;
+        self.free_head = slot as u32;
+        event
+    }
+
+    /// Remove the heap entry at `pos`: swap-with-last, then restore the
+    /// heap property from `pos` in whichever direction is violated.
+    fn remove_heap_entry(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos < last {
+            self.slots[self.heap[pos] as usize].pos_or_next = pos as u32;
+            // The moved entry may be out of order either way relative to
+            // its new neighbourhood; only one of these will act.
+            let moved_up = self.sift_up(pos);
+            if !moved_up {
+                self.sift_down(pos);
+            }
+        }
+    }
+
+    /// `(time, seq)` ordering key for the heap entry at `pos`.
+    #[inline]
+    fn key(&self, pos: usize) -> (SimTime, u64) {
+        let s = &self.slots[self.heap[pos] as usize];
+        (s.time, s.seq)
+    }
+
+    /// Bubble the entry at `pos` towards the root. Returns whether it moved.
+    fn sift_up(&mut self, mut pos: usize) -> bool {
+        let mut moved = false;
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.key(pos) >= self.key(parent) {
                 break;
             }
-            self.heap.pop();
+            self.heap.swap(pos, parent);
+            self.slots[self.heap[pos] as usize].pos_or_next = pos as u32;
+            self.slots[self.heap[parent] as usize].pos_or_next = parent as u32;
+            pos = parent;
+            moved = true;
+        }
+        moved
+    }
+
+    /// Push the entry at `pos` towards the leaves.
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < len && self.key(right) < self.key(left) {
+                child = right;
+            }
+            if self.key(pos) <= self.key(child) {
+                break;
+            }
+            self.heap.swap(pos, child);
+            self.slots[self.heap[pos] as usize].pos_or_next = pos as u32;
+            self.slots[self.heap[child] as usize].pos_or_next = child as u32;
+            pos = child;
         }
     }
 }
@@ -193,5 +324,69 @@ mod tests {
         q.schedule(t(6), 4);
         assert_eq!(q.pop(), Some((t(6), 4)));
         assert_eq!(q.pop(), Some((t(7), 3)));
+    }
+
+    #[test]
+    fn stale_handle_fails_generation_check() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.cancel(a), Some("a"));
+        // The freed slot is reused immediately; the old handle must not
+        // alias the new occupant.
+        let b = q.schedule(t(2), "b");
+        assert!(!q.is_pending(a));
+        assert!(q.is_pending(b));
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn popped_handle_goes_stale() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.is_pending(a));
+        assert_eq!(q.cancel(a), None);
+    }
+
+    #[test]
+    fn cancel_middle_preserves_order() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..64u32).map(|i| q.schedule(t(u64::from(i)), i)).collect();
+        // Cancel every third event, including interior heap nodes.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 3 == 1 {
+                assert_eq!(q.cancel(*id), Some(i as u32));
+            }
+        }
+        let mut last = None;
+        while let Some((time, v)) = q.pop() {
+            assert_ne!(v % 3, 1, "cancelled event fired");
+            assert!(last.is_none_or(|l| l <= time), "pops out of order");
+            last = Some(time);
+        }
+    }
+
+    /// Regression: the pre-slab queue leaked one heap entry per
+    /// cancel/reschedule round until the entry drifted to the head. A
+    /// timer that churns (the RTO pattern) must not grow the queue.
+    #[test]
+    fn cancel_reschedule_churn_keeps_capacity_bounded() {
+        let mut q = EventQueue::new();
+        // A backdrop of live timers so the churned entry has interior
+        // heap positions to land in.
+        let backdrop: Vec<_> = (0..16u64).map(|i| q.schedule(t(1000 + i), 0u64)).collect();
+        let mut rto = q.schedule(t(500), 1);
+        for round in 0..100_000u64 {
+            assert_eq!(q.cancel(rto), Some(1));
+            rto = q.schedule(t(500 + round % 7), 1);
+        }
+        assert_eq!(q.len(), 17);
+        assert!(
+            q.slot_capacity() <= 18,
+            "capacity {} grew with churn, not liveness",
+            q.slot_capacity()
+        );
+        drop(backdrop);
     }
 }

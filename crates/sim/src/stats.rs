@@ -173,6 +173,11 @@ pub struct Histogram {
     pub counts: Vec<u64>,
     /// Total observations recorded (including clamped ones).
     pub total: u64,
+    /// NaN observations rejected by [`Histogram::record`]. NaN fails
+    /// both range comparisons and `as usize` saturates it to 0, so the
+    /// old behaviour silently inflated bucket 0; rejected samples are
+    /// counted here instead of disappearing.
+    pub rejected_nan: u64,
 }
 
 impl Histogram {
@@ -185,12 +190,18 @@ impl Histogram {
             hi,
             counts: vec![0; bins],
             total: 0,
+            rejected_nan: 0,
         }
     }
 
     /// Record one observation; values outside `[lo, hi)` clamp to the
-    /// boundary buckets.
+    /// boundary buckets. NaN is rejected (counted in
+    /// [`Histogram::rejected_nan`], not in any bucket or `total`).
     pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            self.rejected_nan += 1;
+            return;
+        }
         let bins = self.counts.len();
         let idx = if x < self.lo {
             0
@@ -294,6 +305,18 @@ mod tests {
         let b = h.buckets();
         assert_eq!(b.len(), 5);
         assert!((b[0].0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_nan_with_counter() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(f64::NAN);
+        h.record(-f64::NAN);
+        h.record(0.5);
+        assert_eq!(h.rejected_nan, 2, "NaN must be counted as rejected");
+        assert_eq!(h.total, 1, "NaN must not count as an observation");
+        assert_eq!(h.counts[0], 1, "NaN must not inflate bucket 0");
+        assert_eq!(h.counts.iter().sum::<u64>(), 1);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //!   window (which includes previously processed blocks).
 
 use bytes::{BufMut, Bytes, BytesMut};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
 
 /// Static dictionary: common header names/values, as in the SPDY/3 spec's
 /// compression dictionary (abbreviated but representative).
@@ -83,10 +84,68 @@ impl Window {
     }
 }
 
+/// Per-key candidate cap: the 4-gram index keeps at most this many
+/// positions per key, oldest first (matching the original per-call
+/// rebuild, which stopped inserting once a slot was full).
+const MAX_CANDIDATES: usize = 32;
+
+/// Positions of every 4-gram fully inside the static dictionary,
+/// ascending, capped at [`MAX_CANDIDATES`] per key. The dictionary is a
+/// constant, so this is computed once per process and shared.
+fn static_index() -> &'static HashMap<[u8; 4], Vec<u32>> {
+    static INDEX: OnceLock<HashMap<[u8; 4], Vec<u32>>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let d = STATIC_DICTIONARY;
+        let mut index: HashMap<[u8; 4], Vec<u32>> = HashMap::new();
+        for i in 0..d.len().saturating_sub(MIN_MATCH - 1) {
+            let key = [d[i], d[i + 1], d[i + 2], d[i + 3]];
+            let slot = index.entry(key).or_default();
+            if slot.len() < MAX_CANDIDATES {
+                slot.push(i as u32);
+            }
+        }
+        index
+    })
+}
+
+/// In-call 4-gram positions (window coordinates of the current call),
+/// epoch-tagged so the map's allocations survive across calls without
+/// per-call clearing.
+#[derive(Debug, Default)]
+struct Overlay {
+    epoch: u64,
+    positions: Vec<u32>,
+}
+
 /// The compressing half of a session's header codec.
+///
+/// The candidate index is persistent and incremental: static-dictionary
+/// grams are computed once per process, history grams live in per-key
+/// deques of *stream* positions (stable as the window drains), and the
+/// three grams spanning the static/history boundary — whose bytes change
+/// every time the history head shifts — are recomputed per call. The
+/// assembled candidate list for a key is byte-for-byte the list the
+/// original per-call index rebuild produced, so compressed output is
+/// unchanged; what's gone is the 17 KiB window clone and the full index
+/// rebuild on every header block.
 #[derive(Debug)]
 pub struct Compressor {
     window: Window,
+    /// History bytes dropped from the window so far; stream position `s`
+    /// of a retained history byte maps to window position `s - drained`.
+    drained: u64,
+    /// Per-key stream positions of history grams, ascending. Entries
+    /// below the current history start are pruned lazily on access and
+    /// in a periodic full sweep.
+    history: HashMap<[u8; 4], VecDeque<u64>>,
+    /// Per-call input-gram positions (see [`Overlay`]).
+    overlay: HashMap<[u8; 4], Overlay>,
+    /// Current call number, tags overlay entries.
+    epoch: u64,
+    /// `drained` at the last full prune of `history`.
+    pruned_at: u64,
+    /// Reusable candidate-assembly buffer.
+    scratch: Vec<usize>,
     stats_in: u64,
     stats_out: u64,
 }
@@ -97,11 +156,75 @@ impl Default for Compressor {
     }
 }
 
+/// Assemble the candidate list for `key` exactly as the original
+/// per-call index held it: static-interior positions, then the (up to
+/// three) boundary grams, then history positions ascending, then this
+/// call's overlay appends — truncated to the first [`MAX_CANDIDATES`].
+#[allow(clippy::too_many_arguments)]
+fn assemble_candidates(
+    scratch: &mut Vec<usize>,
+    key: [u8; 4],
+    win: &[u8],
+    drained: u64,
+    hist_start: u64,
+    history: &mut HashMap<[u8; 4], VecDeque<u64>>,
+    overlay: &HashMap<[u8; 4], Overlay>,
+    epoch: u64,
+) {
+    scratch.clear();
+    let s_len = STATIC_DICTIONARY.len();
+    if let Some(stat) = static_index().get(&key) {
+        scratch.extend(stat.iter().map(|&p| p as usize));
+    }
+    // Grams straddling the static/history boundary (window positions
+    // S-3..S-1); their bytes depend on the current history head.
+    let hist_len = win.len() - s_len;
+    for i in (s_len - (MIN_MATCH - 1))..s_len {
+        if scratch.len() >= MAX_CANDIDATES {
+            break;
+        }
+        if hist_len >= i + MIN_MATCH - s_len && win[i..i + MIN_MATCH] == key[..] {
+            scratch.push(i);
+        }
+    }
+    if scratch.len() < MAX_CANDIDATES {
+        if let Some(dq) = history.get_mut(&key) {
+            while dq.front().is_some_and(|&s| s < hist_start) {
+                dq.pop_front();
+            }
+            for &s in dq.iter() {
+                if scratch.len() >= MAX_CANDIDATES {
+                    break;
+                }
+                scratch.push((s - drained) as usize);
+            }
+        }
+    }
+    if scratch.len() < MAX_CANDIDATES {
+        if let Some(ov) = overlay.get(&key) {
+            if ov.epoch == epoch {
+                for &a in &ov.positions {
+                    if scratch.len() >= MAX_CANDIDATES {
+                        break;
+                    }
+                    scratch.push(a as usize);
+                }
+            }
+        }
+    }
+}
+
 impl Compressor {
     /// A compressor primed with the static dictionary.
     pub fn new() -> Compressor {
         Compressor {
             window: Window::new(),
+            drained: 0,
+            history: HashMap::new(),
+            overlay: HashMap::new(),
+            epoch: 0,
+            pruned_at: 0,
+            scratch: Vec::new(),
             stats_in: 0,
             stats_out: 0,
         }
@@ -114,20 +237,40 @@ impl Compressor {
 
     /// Compress one header block, updating the shared window.
     pub fn compress(&mut self, input: &[u8]) -> Bytes {
-        // Search space = window + already-emitted part of this input.
-        let mut space = self.window.buf.clone();
-        let base = space.len();
-        space.extend_from_slice(input);
+        let s_len = STATIC_DICTIONARY.len();
+        let base = self.window.buf.len();
+        let drained = self.drained;
+        let hist_start = s_len as u64 + drained; // stream pos of history head
+        let stream_len = hist_start + (base - s_len) as u64; // before this input
+        self.epoch += 1;
+        let epoch = self.epoch;
 
-        // Index 4-grams of the searchable region.
-        let mut index: HashMap<[u8; 4], Vec<usize>> = HashMap::new();
-        for i in 0..base.saturating_sub(MIN_MATCH - 1) {
-            let key = [space[i], space[i + 1], space[i + 2], space[i + 3]];
-            let slot = index.entry(key).or_default();
-            if slot.len() < 32 {
-                slot.push(i);
+        // Split borrows so candidate assembly can prune `history` while
+        // the window stays readable.
+        let Compressor {
+            window,
+            history,
+            overlay,
+            scratch,
+            ..
+        } = &mut *self;
+        let win: &[u8] = &window.buf;
+        // Search space = window ++ input, addressed without materializing.
+        let byte = |p: usize| -> u8 {
+            if p < base {
+                win[p]
+            } else {
+                input[p - base]
             }
-        }
+        };
+        let push_overlay = |overlay: &mut HashMap<[u8; 4], Overlay>, key: [u8; 4], a: usize| {
+            let ov = overlay.entry(key).or_default();
+            if ov.epoch != epoch {
+                ov.epoch = epoch;
+                ov.positions.clear();
+            }
+            ov.positions.push(a as u32);
+        };
 
         let mut out = BytesMut::with_capacity(input.len() / 2 + 16);
         let mut literal_start = 0usize; // within input
@@ -137,21 +280,22 @@ impl Compressor {
             let mut best: Option<(usize, usize)> = None; // (src, len)
             if pos + MIN_MATCH <= input.len() {
                 let key = [input[pos], input[pos + 1], input[pos + 2], input[pos + 3]];
-                if let Some(cands) = index.get(&key) {
-                    for &src in cands.iter().rev() {
-                        let mut l = 0usize;
-                        while l < MAX_MATCH
-                            && pos + l < input.len()
-                            && space[src + l] == input[pos + l]
-                            // Matches may run into the current input but the
-                            // source must start before `abs`.
-                            && src + l < abs
-                        {
-                            l += 1;
-                        }
-                        if l >= MIN_MATCH && best.is_none_or(|(_, bl)| l > bl) {
-                            best = Some((src, l));
-                        }
+                assemble_candidates(
+                    scratch, key, win, drained, hist_start, history, overlay, epoch,
+                );
+                for &src in scratch.iter().rev() {
+                    let mut l = 0usize;
+                    while l < MAX_MATCH
+                        && pos + l < input.len()
+                        && byte(src + l) == input[pos + l]
+                        // Matches may run into the current input but the
+                        // source must start before `abs`.
+                        && src + l < abs
+                    {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH && best.is_none_or(|(_, bl)| l > bl) {
+                        best = Some((src, l));
                     }
                 }
             }
@@ -170,25 +314,16 @@ impl Compressor {
                     // Newly emitted input becomes searchable.
                     for i in pos..(pos + len).min(input.len().saturating_sub(MIN_MATCH - 1)) {
                         let a = base + i;
-                        if a + MIN_MATCH <= space.len() {
-                            let key = [space[a], space[a + 1], space[a + 2], space[a + 3]];
-                            let slot = index.entry(key).or_default();
-                            if slot.len() < 32 {
-                                slot.push(a);
-                            }
-                        }
+                        let key = [input[i], input[i + 1], input[i + 2], input[i + 3]];
+                        push_overlay(overlay, key, a);
                     }
                     pos += len;
                     literal_start = pos;
                 }
                 None => {
-                    let a = abs;
-                    if a + MIN_MATCH <= space.len() {
-                        let key = [space[a], space[a + 1], space[a + 2], space[a + 3]];
-                        let slot = index.entry(key).or_default();
-                        if slot.len() < 32 {
-                            slot.push(a);
-                        }
+                    if pos + MIN_MATCH <= input.len() {
+                        let key = [input[pos], input[pos + 1], input[pos + 2], input[pos + 3]];
+                        push_overlay(overlay, key, abs);
                     }
                     pos += 1;
                 }
@@ -200,7 +335,48 @@ impl Compressor {
             put_varint(&mut out, lit.len() as u64);
             out.put_slice(lit);
         }
+
+        // Register the grams the next call's window will contain: stream
+        // positions from just before this input (grams completing across
+        // the block boundary) through `stream_end - 4`.
+        let stream_end = stream_len + input.len() as u64;
+        if stream_end >= s_len as u64 + MIN_MATCH as u64 {
+            let lo = stream_len
+                .saturating_sub(MIN_MATCH as u64 - 1)
+                .max(s_len as u64);
+            let stream_byte = |s: u64| -> u8 {
+                if s < stream_len {
+                    win[(s - drained) as usize]
+                } else {
+                    input[(s - stream_len) as usize]
+                }
+            };
+            for s in lo..=(stream_end - MIN_MATCH as u64) {
+                let key = [
+                    stream_byte(s),
+                    stream_byte(s + 1),
+                    stream_byte(s + 2),
+                    stream_byte(s + 3),
+                ];
+                history.entry(key).or_default().push_back(s);
+            }
+        }
+
         self.window.extend(input);
+        self.drained = stream_end - self.window.buf.len() as u64;
+        // Amortized memory bound: whenever another full window's worth of
+        // history has drained, sweep the stale positions everywhere.
+        if self.drained - self.pruned_at >= MAX_HISTORY as u64 {
+            let live_from = s_len as u64 + self.drained;
+            self.history.retain(|_, dq| {
+                while dq.front().is_some_and(|&s| s < live_from) {
+                    dq.pop_front();
+                }
+                !dq.is_empty()
+            });
+            self.pruned_at = self.drained;
+        }
+
         self.stats_in += input.len() as u64;
         self.stats_out += out.len() as u64;
         out.freeze()
@@ -224,6 +400,9 @@ impl std::error::Error for DecompressError {}
 #[derive(Debug)]
 pub struct Decompressor {
     window: Window,
+    /// Reusable plaintext buffer; match sources address the conceptual
+    /// `window ++ out` space without cloning the window per block.
+    out: Vec<u8>,
 }
 
 impl Default for Decompressor {
@@ -237,13 +416,14 @@ impl Decompressor {
     pub fn new() -> Decompressor {
         Decompressor {
             window: Window::new(),
+            out: Vec::new(),
         }
     }
 
     /// Decompress one block, updating the shared window.
     pub fn decompress(&mut self, data: &[u8]) -> Result<Bytes, DecompressError> {
-        let mut space = self.window.buf.clone();
-        let base = space.len();
+        let base = self.window.buf.len();
+        self.out.clear();
         let mut pos = 0usize;
         while pos < data.len() {
             let tag = data[pos];
@@ -256,7 +436,7 @@ impl Decompressor {
                     if pos + len > data.len() {
                         return Err(DecompressError("truncated literal body".into()));
                     }
-                    space.extend_from_slice(&data[pos..pos + len]);
+                    self.out.extend_from_slice(&data[pos..pos + len]);
                     pos += len;
                 }
                 0x01 => {
@@ -266,20 +446,25 @@ impl Decompressor {
                     let len = get_varint(data, &mut pos)
                         .ok_or_else(|| DecompressError("truncated match len".into()))?
                         as usize;
-                    if dist == 0 || dist > space.len() || len > MAX_MATCH {
+                    if dist == 0 || dist > base + self.out.len() || len > MAX_MATCH {
                         return Err(DecompressError(format!("bad match dist={dist} len={len}")));
                     }
                     // Byte-by-byte copy supports overlapping matches.
-                    let start = space.len() - dist;
+                    let start = base + self.out.len() - dist;
                     for i in 0..len {
-                        let b = space[start + i];
-                        space.push(b);
+                        let p = start + i;
+                        let b = if p < base {
+                            self.window.buf[p]
+                        } else {
+                            self.out[p - base]
+                        };
+                        self.out.push(b);
                     }
                 }
                 other => return Err(DecompressError(format!("bad token {other}"))),
             }
         }
-        let plain = Bytes::copy_from_slice(&space[base..]);
+        let plain = Bytes::copy_from_slice(&self.out);
         self.window.extend(&plain);
         Ok(plain)
     }
@@ -380,6 +565,158 @@ mod tests {
         assert!(d.decompress(&[0x01, 0x00, 0x05]).is_err(), "zero distance");
         assert!(d.decompress(&[0x00, 0xFF]).is_err(), "truncated literal");
         assert!(d.decompress(&[0x07]).is_err(), "unknown token");
+    }
+
+    /// The original clone-and-rebuild compressor, kept verbatim as an
+    /// oracle: the incremental index must reproduce its output byte for
+    /// byte (golden traces depend on exact wire bytes).
+    struct ReferenceCompressor {
+        window: Window,
+    }
+
+    impl ReferenceCompressor {
+        fn new() -> ReferenceCompressor {
+            ReferenceCompressor {
+                window: Window::new(),
+            }
+        }
+
+        fn compress(&mut self, input: &[u8]) -> Bytes {
+            let mut space = self.window.buf.clone();
+            let base = space.len();
+            space.extend_from_slice(input);
+
+            let mut index: HashMap<[u8; 4], Vec<usize>> = HashMap::new();
+            for i in 0..base.saturating_sub(MIN_MATCH - 1) {
+                let key = [space[i], space[i + 1], space[i + 2], space[i + 3]];
+                let slot = index.entry(key).or_default();
+                if slot.len() < 32 {
+                    slot.push(i);
+                }
+            }
+
+            let mut out = BytesMut::with_capacity(input.len() / 2 + 16);
+            let mut literal_start = 0usize;
+            let mut pos = 0usize;
+            while pos < input.len() {
+                let abs = base + pos;
+                let mut best: Option<(usize, usize)> = None;
+                if pos + MIN_MATCH <= input.len() {
+                    let key = [input[pos], input[pos + 1], input[pos + 2], input[pos + 3]];
+                    if let Some(cands) = index.get(&key) {
+                        for &src in cands.iter().rev() {
+                            let mut l = 0usize;
+                            while l < MAX_MATCH
+                                && pos + l < input.len()
+                                && space[src + l] == input[pos + l]
+                                && src + l < abs
+                            {
+                                l += 1;
+                            }
+                            if l >= MIN_MATCH && best.is_none_or(|(_, bl)| l > bl) {
+                                best = Some((src, l));
+                            }
+                        }
+                    }
+                }
+                match best {
+                    Some((src, len)) => {
+                        if literal_start < pos {
+                            let lit = &input[literal_start..pos];
+                            out.put_u8(0x00);
+                            put_varint(&mut out, lit.len() as u64);
+                            out.put_slice(lit);
+                        }
+                        out.put_u8(0x01);
+                        put_varint(&mut out, (abs - src) as u64);
+                        put_varint(&mut out, len as u64);
+                        for i in pos..(pos + len).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+                            let a = base + i;
+                            if a + MIN_MATCH <= space.len() {
+                                let key = [space[a], space[a + 1], space[a + 2], space[a + 3]];
+                                let slot = index.entry(key).or_default();
+                                if slot.len() < 32 {
+                                    slot.push(a);
+                                }
+                            }
+                        }
+                        pos += len;
+                        literal_start = pos;
+                    }
+                    None => {
+                        let a = abs;
+                        if a + MIN_MATCH <= space.len() {
+                            let key = [space[a], space[a + 1], space[a + 2], space[a + 3]];
+                            let slot = index.entry(key).or_default();
+                            if slot.len() < 32 {
+                                slot.push(a);
+                            }
+                        }
+                        pos += 1;
+                    }
+                }
+            }
+            if literal_start < input.len() {
+                let lit = &input[literal_start..];
+                out.put_u8(0x00);
+                put_varint(&mut out, lit.len() as u64);
+                out.put_slice(lit);
+            }
+            self.window.extend(input);
+            out.freeze()
+        }
+    }
+
+    /// Deterministic pseudo-random byte for adversarial block content.
+    fn mix(i: u64) -> u8 {
+        ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 33) as u8
+    }
+
+    #[test]
+    fn incremental_compressor_matches_reference_across_window_churn() {
+        let mut inc = Compressor::new();
+        let mut reference = ReferenceCompressor::new();
+        let mut total = 0usize;
+        // Far past MAX_HISTORY so the boundary grams and stream-position
+        // remapping are exercised through many drains; block shapes mix
+        // header-like text, high-repetition runs, tiny blocks, and noise.
+        for i in 0u64..400 {
+            let block: Vec<u8> = match i % 5 {
+                0 => format!(
+                    "get /object/{i} http/1.1\r\nhost: site-{}.example\r\ncookie: s=tok{}{}\r\n",
+                    i % 7,
+                    i,
+                    "x".repeat((i % 13) as usize)
+                )
+                .into_bytes(),
+                1 => vec![b'a' + (i % 3) as u8; 40 + (i % 200) as usize],
+                2 => (0..(i % 9)).map(mix).collect(),
+                3 => {
+                    let mut b =
+                        b"accept-encoding: gzipdeflate\r\ncontent-type: text/html\r\n".to_vec();
+                    b.extend((0..(60 + i % 300)).map(|j| mix(i * 1000 + j)));
+                    b
+                }
+                _ => format!("x-churn-{}: {}\r\n", i % 11, "v".repeat((i % 97) as usize))
+                    .into_bytes(),
+            };
+            total += block.len();
+            let a = inc.compress(&block);
+            let b = reference.compress(&block);
+            assert_eq!(a, b, "block {i} diverged (len {})", block.len());
+        }
+        assert!(
+            total > 2 * MAX_HISTORY,
+            "session must overflow the window: {total}"
+        );
+        // And the real decompressor still tracks the incremental side.
+        let mut c = Compressor::new();
+        let mut d = Decompressor::new();
+        for i in 0u64..50 {
+            let block = format!("host: h{}.example\r\ncookie: c={}\r\n", i % 3, i);
+            let comp = c.compress(block.as_bytes());
+            assert_eq!(&d.decompress(&comp).unwrap()[..], block.as_bytes());
+        }
     }
 
     #[test]

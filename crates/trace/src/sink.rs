@@ -139,6 +139,10 @@ const JSONL_FLUSH_BYTES: usize = 64 * 1024;
 pub struct JsonlWriter<W: io::Write + Send> {
     out: W,
     buf: Vec<u8>,
+    /// Reusable scratch for one serialized line: `record` renders into
+    /// this (via [`TraceRecord::write_jsonl_line`]) and copies it into
+    /// `buf`, so steady state allocates nothing per record.
+    line: String,
     /// Lines currently sitting in `buf`.
     pending: u64,
     written: u64,
@@ -151,6 +155,7 @@ impl<W: io::Write + Send> JsonlWriter<W> {
         JsonlWriter {
             out,
             buf: Vec::with_capacity(JSONL_FLUSH_BYTES),
+            line: String::new(),
             pending: 0,
             written: 0,
             failed: 0,
@@ -159,7 +164,7 @@ impl<W: io::Write + Send> JsonlWriter<W> {
 
     /// How many lines were accepted (buffered or already pushed to the
     /// inner writer). A line only leaves this count if its batch later
-    /// fails to write.
+    /// fails to write or the final flush fails.
     pub fn written(&self) -> u64 {
         self.written
     }
@@ -177,17 +182,32 @@ impl<W: io::Write + Send> JsonlWriter<W> {
         self.pending = 0;
     }
 
+    /// Push the batch and flush the inner writer. A writer that buffers
+    /// internally (`BufWriter`, a compressing encoder) may only reveal a
+    /// truncated file here — on flush failure every line counted as
+    /// written is reclassified as failed, so `dropped()` never reports 0
+    /// for a trace the reader cannot actually recover.
+    fn final_flush(&mut self) {
+        self.flush_buf();
+        if self.out.flush().is_err() {
+            self.failed += self.written;
+            self.written = 0;
+        }
+    }
+
     /// Flush and recover the inner writer.
     pub fn into_inner(mut self) -> W {
-        self.flush_buf();
-        let _ = self.out.flush();
+        self.final_flush();
         self.out
     }
 }
 
 impl<W: io::Write + Send> TraceSink for JsonlWriter<W> {
     fn record(&mut self, rec: TraceRecord) {
-        self.buf.push_str_line(&rec.to_jsonl_line());
+        self.line.clear();
+        rec.write_jsonl_line(&mut self.line);
+        self.buf.extend_from_slice(self.line.as_bytes());
+        self.buf.push(b'\n');
         self.pending += 1;
         self.written += 1;
         if self.buf.len() >= JSONL_FLUSH_BYTES {
@@ -196,8 +216,7 @@ impl<W: io::Write + Send> TraceSink for JsonlWriter<W> {
     }
 
     fn drain(&mut self) -> Vec<TraceRecord> {
-        self.flush_buf();
-        let _ = self.out.flush();
+        self.final_flush();
         Vec::new()
     }
 
@@ -206,24 +225,12 @@ impl<W: io::Write + Send> TraceSink for JsonlWriter<W> {
     }
 }
 
-/// Tiny helper so `record` appends `line\n` without a `fmt` round trip.
-trait PushLine {
-    fn push_str_line(&mut self, line: &str);
-}
-
-impl PushLine for Vec<u8> {
-    fn push_str_line(&mut self, line: &str) {
-        self.extend_from_slice(line.as_bytes());
-        self.push(b'\n');
-    }
-}
-
 /// Render records to one JSONL string (one line per record, trailing
 /// newline after each). The canonical on-disk trace format.
 pub fn to_jsonl(records: &[TraceRecord]) -> String {
     let mut out = String::new();
     for rec in records {
-        out.push_str(&rec.to_jsonl_line());
+        rec.write_jsonl_line(&mut out);
         out.push('\n');
     }
     out
@@ -365,6 +372,52 @@ mod tests {
         let _ = sink.drain();
         assert_eq!(sink.dropped(), 2);
         assert_eq!(sink.written(), 0, "failed lines leave the written count");
+    }
+
+    /// A writer whose writes succeed but whose `flush` fails — the
+    /// shape of a `BufWriter` over a full disk: bytes are accepted into
+    /// the intermediate buffer, the loss only surfaces at flush time.
+    struct FailFlushWriter;
+
+    impl io::Write for FailFlushWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("disk full"))
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_reclassifies_written_on_final_flush_failure() {
+        let mut sink = JsonlWriter::new(FailFlushWriter);
+        sink.record(rec(1, 0));
+        sink.record(rec(2, 1));
+        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.dropped(), 0);
+        let _ = sink.drain();
+        assert_eq!(
+            sink.dropped(),
+            2,
+            "a failed final flush must not leave dropped() at 0"
+        );
+        assert_eq!(sink.written(), 0);
+    }
+
+    #[test]
+    fn jsonl_writer_scratch_line_reuse_keeps_bytes_identical() {
+        let mut sink = JsonlWriter::new(Vec::new());
+        let records: Vec<TraceRecord> = (0..50).map(|i| rec(i, i as usize)).collect();
+        for r in &records {
+            sink.record(r.clone());
+        }
+        let _ = sink.drain();
+        let bytes = sink.into_inner();
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            to_jsonl(&records),
+            "scratch-line serialization must not change the stream"
+        );
     }
 
     #[test]

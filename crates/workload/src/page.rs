@@ -114,11 +114,16 @@ impl WebPage {
 
     /// Ids of objects directly revealed by `parent`'s evaluation.
     pub fn children_of(&self, parent: ObjectId) -> Vec<ObjectId> {
+        self.children_iter(parent).collect()
+    }
+
+    /// Allocation-free variant of [`WebPage::children_of`]: iterate the
+    /// ids of objects directly revealed by `parent`'s evaluation.
+    pub fn children_iter(&self, parent: ObjectId) -> impl Iterator<Item = ObjectId> + '_ {
         self.objects
             .iter()
-            .filter(|o| o.discovered_by == Some(parent))
+            .filter(move |o| o.discovered_by == Some(parent))
             .map(|o| o.id)
-            .collect()
     }
 
     /// Validate structural invariants (ids match indices, parents precede
