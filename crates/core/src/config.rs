@@ -26,7 +26,48 @@ pub enum NetworkKind {
     Wifi,
 }
 
+/// Canonical CLI/manifest spelling of every access network, in the order
+/// they are listed in usage strings and parse errors.
+pub const NETWORK_NAMES: [(&str, NetworkKind); 4] = [
+    ("3g", NetworkKind::Umts3G),
+    ("3g-pinned", NetworkKind::Umts3GPinned),
+    ("lte", NetworkKind::Lte),
+    ("wifi", NetworkKind::Wifi),
+];
+
+/// The one place `"3g" | "lte" | "wifi" | "3g-pinned"` strings become a
+/// [`NetworkKind`]: CLI subcommands and scenario manifests both parse
+/// through this alias's `FromStr`.
+pub type NetworkSpec = NetworkKind;
+
+impl std::str::FromStr for NetworkKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<NetworkKind, String> {
+        NETWORK_NAMES
+            .iter()
+            .find(|(name, _)| *name == s)
+            .map(|&(_, kind)| kind)
+            .ok_or_else(|| {
+                let names: Vec<&str> = NETWORK_NAMES.iter().map(|&(n, _)| n).collect();
+                format!(
+                    "unknown network {s:?} (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
 impl NetworkKind {
+    /// The canonical CLI/manifest name ([`FromStr`] parses it back).
+    pub fn cli_name(self) -> &'static str {
+        NETWORK_NAMES
+            .iter()
+            .find(|&&(_, kind)| kind == self)
+            .map(|&(name, _)| name)
+            .expect("every NetworkKind is in NETWORK_NAMES")
+    }
+
     /// Instantiate the access path.
     pub fn build(self) -> AccessPath {
         match self {
@@ -352,6 +393,19 @@ impl ExperimentConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn network_names_round_trip_and_errors_list_choices() {
+        for (name, kind) in NETWORK_NAMES {
+            assert_eq!(name.parse::<NetworkKind>().unwrap(), kind);
+            assert_eq!(kind.cli_name(), name);
+        }
+        let err = "4g".parse::<NetworkKind>().unwrap_err();
+        assert!(err.contains("unknown network \"4g\""), "{err}");
+        for name in ["3g", "3g-pinned", "lte", "wifi"] {
+            assert!(err.contains(name), "error lists {name}: {err}");
+        }
+    }
 
     #[test]
     fn network_builders_produce_expected_paths() {

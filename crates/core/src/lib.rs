@@ -21,6 +21,7 @@
 pub mod analyzer;
 pub mod attribution;
 pub mod config;
+pub mod contract;
 pub mod driver;
 pub mod export;
 pub mod results;
@@ -30,7 +31,14 @@ pub mod waterfall;
 mod world;
 
 pub use attribution::{attribute_stalls, stall_file, StallBreakdown};
-pub use config::{AccessPath, BeaconConfig, ExperimentConfig, NetworkKind, ProtocolMode};
+pub use config::{
+    AccessPath, BeaconConfig, ExperimentConfig, NetworkKind, NetworkSpec, ProtocolMode,
+    NETWORK_NAMES,
+};
+pub use contract::{
+    junit_xml, paired_meta_file, stall_manifest_file, AssertionVerdict, ScenarioExit,
+    VerdictStatus, PAIRED_DUMP_SCHEMA_VERSION, RESULT_SCHEMA_VERSION, STALL_TABLE_SCHEMA_VERSION,
+};
 pub use driver::{
     run_experiment, run_experiment_traced, try_run_experiment, try_run_experiment_traced, RunError,
     Testbed,

@@ -17,6 +17,7 @@ pub mod objects;
 pub mod plt;
 pub mod profiling;
 pub mod proxy_bottleneck;
+pub mod scenario_run;
 pub mod table1;
 pub mod tcp_dynamics;
 
@@ -25,11 +26,11 @@ use spdyier_core::{
     run_experiment, run_experiment_traced, ExperimentConfig, FlightLog, NetworkKind, ProtocolMode,
     RunResult, TraceLevel,
 };
-use spdyier_sim::DetRng;
 use spdyier_workload::VisitSchedule;
 
 pub use exec::Executor;
 pub use profiling::{paired_cells, profiled_cells_on, ProfiledSweep};
+pub use scenario_run::{run_manifest, run_manifest_on, ScenarioOutcome, ScenarioRun};
 
 /// A rendered experiment result.
 #[derive(Debug)]
@@ -77,10 +78,10 @@ impl ExpOpts {
 }
 
 /// The shared schedule for seed `s` (HTTP and SPDY see the same order, as
-/// in the paper's alternating methodology).
+/// in the paper's alternating methodology). Delegates to the scenario
+/// crate so manifests and legacy runners share one formula.
 pub fn schedule_for_seed(s: u64) -> VisitSchedule {
-    let mut rng = DetRng::new(0x5C_u64 ^ (s.wrapping_mul(0x9E37_79B9))).fork("schedule");
-    VisitSchedule::paper_default(&mut rng)
+    spdyier_scenario::table1_schedule_for_seed(s)
 }
 
 /// Run the full 20-site schedule for one protocol on one network.

@@ -2,9 +2,18 @@
 //!
 //! ```text
 //! experiments <id|all> [--seeds N] [--json DIR]
+//! experiments run <MANIFEST.(json|yaml)> [--out DIR] [--seeds N]
 //! experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]
 //! experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]
 //! ```
+//!
+//! The `run` form executes a declarative scenario manifest (JSON, or the
+//! strict YAML subset) end to end: expand cells, fan them across
+//! `SPDYIER_JOBS` workers, evaluate assertions, and write the versioned
+//! results contract (`result.json`, `junit.xml`, optional paired dump
+//! and trace artifacts) to the output directory. Exit codes are
+//! standardized: 0 pass, 1 assertion failure, 2 limit exceeded, 3
+//! config error.
 //!
 //! The `export` form runs one full schedule with traces and writes
 //! gnuplot-ready `.dat` files (PLTs, per-second downlink, bytes in
@@ -14,7 +23,13 @@
 //! The `trace` form runs one full schedule with the flight recorder on
 //! (level from `SPDYIER_TRACE`, default `full`) and writes the raw
 //! JSONL event stream, the HAR-style waterfall, the per-visit stall
-//! attribution table, and the metrics registry to `DIR`.
+//! attribution table, and the metrics registry to `DIR` — routed
+//! through the same scenario runner as `run`, so the directory also
+//! gains `result.json`, `junit.xml`, and the stall-table sidecar.
+//!
+//! The `paired` form is likewise a pre-baked paired-sweep manifest: one
+//! `RunResult` JSON line per run (HTTP then SPDY per seed), plus a
+//! `.meta.json` schema sidecar next to the dump.
 //!
 //! The `profile` form turns the host-side self-profiler on and runs one
 //! or more schedules (`--seeds N`, fanned across `SPDYIER_JOBS`
@@ -23,13 +38,13 @@
 //! per completed cell), and the merged `metrics_<proto>.json` to `DIR`.
 
 use spdyier_core::{
-    attribute_stalls, export_run, metrics_file, stall_file, waterfall_json, write_to_dir, DataFile,
-    NetworkKind, ProtocolMode, TraceLevel,
+    export_run, metrics_file, write_to_dir, DataFile, NetworkSpec, ProtocolMode, ScenarioExit,
+    TraceLevel,
 };
 use spdyier_experiments::{
-    paired_runs, profiled_cells_on, run_by_id, run_schedule, run_schedule_traced, Executor,
-    ExpOpts, ALL_EXPERIMENTS,
+    profiled_cells_on, run_by_id, run_schedule, scenario_run, Executor, ExpOpts, ALL_EXPERIMENTS,
 };
+use spdyier_scenario::{Manifest, ProtocolSpec, Seeds};
 use spdyier_trace::MetricsRegistry;
 use std::io::Write;
 
@@ -39,9 +54,33 @@ use std::io::Write;
 #[global_allocator]
 static GLOBAL: spdyier_prof::CountingAlloc = spdyier_prof::CountingAlloc;
 
+/// One-line config diagnostic, then the standardized config-error exit.
+fn config_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(ScenarioExit::ConfigError.code());
+}
+
+/// Parse the value following `--flag N` as an unsigned integer; absent
+/// flag yields `default`, present-but-malformed names the flag and
+/// exits 3.
+fn parse_flag_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return default;
+    };
+    let Some(raw) = args.get(i + 1) else {
+        config_error(&format!("{flag}: expected a number after the flag"));
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => config_error(&format!(
+            "{flag}: expected an unsigned integer, got {raw:?}"
+        )),
+    }
+}
+
 fn run_export(args: &[String]) -> ! {
     let (protocol, network, dir, seed) = parse_run_args(args, "export");
-    let result = run_schedule(protocol, network, seed, true);
+    let result = run_schedule(protocol.mode, network, seed, true);
     let files = export_run(&result);
     let paths = write_to_dir(&files, &dir).expect("write export dir");
     for p in &paths {
@@ -54,33 +93,19 @@ fn run_export(args: &[String]) -> ! {
 fn parse_run_args(
     args: &[String],
     cmd: &str,
-) -> (ProtocolMode, NetworkKind, std::path::PathBuf, u64) {
-    let usage = || -> ! {
-        eprintln!("usage: experiments {cmd} <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
-        std::process::exit(2);
-    };
+) -> (ProtocolSpec, NetworkSpec, std::path::PathBuf, u64) {
     if args.len() < 3 {
-        usage();
+        config_error(&format!(
+            "usage: experiments {cmd} <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]"
+        ));
     }
-    let protocol = match args[0].as_str() {
-        "http" => ProtocolMode::Http,
-        "spdy" => ProtocolMode::spdy(),
-        _ => usage(),
-    };
-    let network = match args[1].as_str() {
-        "3g" => NetworkKind::Umts3G,
-        "lte" => NetworkKind::Lte,
-        "wifi" => NetworkKind::Wifi,
-        "3g-pinned" => NetworkKind::Umts3GPinned,
-        _ => usage(),
-    };
+    let protocol = ProtocolSpec::parse(&args[0])
+        .unwrap_or_else(|e| config_error(&format!("experiments {cmd}: protocol: {e}")));
+    let network: NetworkSpec = args[1]
+        .parse()
+        .unwrap_or_else(|e| config_error(&format!("experiments {cmd}: network: {e}")));
     let dir = std::path::PathBuf::from(&args[2]);
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let seed = parse_flag_u64(args, "--seed", 0);
     (protocol, network, dir, seed)
 }
 
@@ -90,22 +115,29 @@ fn run_trace(args: &[String]) -> ! {
         TraceLevel::Off => TraceLevel::Full,
         explicit => explicit,
     };
-    let (result, log) = run_schedule_traced(protocol, network, seed, level);
-    let proto = result.protocol.to_lowercase();
-    let stalls = attribute_stalls(&log);
-    let files = vec![
-        DataFile {
-            name: format!("trace_{proto}.jsonl"),
-            contents: log.to_jsonl(),
-        },
-        DataFile {
-            name: format!("waterfall_{proto}.har.json"),
-            contents: waterfall_json(&result),
-        },
-        stall_file(&proto, &stalls),
-        metrics_file(&proto, &log.metrics),
-    ];
-    let paths = write_to_dir(&files, &dir).expect("write trace dir");
+    // The legacy trace run, re-expressed as a scenario manifest.
+    let mut manifest = Manifest::paper_baseline("trace");
+    manifest.name = format!(
+        "trace_{}_{}",
+        protocol.compact().replace(':', "-"),
+        network.cli_name()
+    );
+    manifest.network.kind = network;
+    manifest.protocols = vec![protocol];
+    manifest.seeds = Seeds {
+        base: seed,
+        count: 1,
+    };
+    manifest.trace = level;
+    manifest.outputs.trace_artifacts = true;
+
+    let run = scenario_run::execute_on(&Executor::from_env(), &manifest);
+    if let Some((_, e)) = &run.limit_error {
+        eprintln!("experiments trace: {e}");
+        std::process::exit(ScenarioExit::LimitExceeded.code());
+    }
+    let (result, log) = run.results[0].as_ref().expect("cell completed");
+    let log = log.as_ref().expect("trace level is on");
     println!(
         "traced {} on {:?} at {:?}: {} events ({} dropped)",
         result.protocol,
@@ -114,7 +146,8 @@ fn run_trace(args: &[String]) -> ! {
         log.events.len(),
         log.dropped
     );
-    for p in &paths {
+    let outcome = scenario_run::finish(&manifest, &run, &dir).expect("write trace dir");
+    for p in &outcome.written {
         println!("wrote {}", p.display());
     }
     std::process::exit(0);
@@ -127,12 +160,8 @@ fn run_trace(args: &[String]) -> ! {
 /// includes `trace.emitted` / `trace.sink_dropped`).
 fn run_profile(args: &[String]) -> ! {
     let (protocol, network, dir, seed) = parse_run_args(args, "profile");
-    let seeds = args
-        .iter()
-        .position(|a| a == "--seeds")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1u64);
+    let protocol = protocol.mode;
+    let seeds = parse_flag_u64(args, "--seeds", 1);
     let level = match TraceLevel::from_env() {
         TraceLevel::Off => TraceLevel::Lifecycle,
         explicit => explicit,
@@ -225,52 +254,122 @@ fn run_profile(args: &[String]) -> ! {
 /// JSON line (HTTP then SPDY per seed). The output is byte-stable for a
 /// given build, which makes it the reference artifact for the CI
 /// byte-identity guard: dump before and after a data-plane change and
-/// `cmp` the files.
+/// `cmp` the files. Routed through the scenario runner (a pre-baked
+/// paired manifest), with a `.meta.json` schema sidecar next to the
+/// dump.
 fn run_paired(args: &[String]) -> ! {
-    let usage = || -> ! {
-        eprintln!("usage: experiments paired <3g|lte|wifi|3g-pinned> <FILE> [--seeds N]");
-        std::process::exit(2);
-    };
     if args.len() < 2 {
-        usage();
+        config_error("usage: experiments paired <3g|lte|wifi|3g-pinned> <FILE> [--seeds N]");
     }
-    let network = match args[0].as_str() {
-        "3g" => NetworkKind::Umts3G,
-        "lte" => NetworkKind::Lte,
-        "wifi" => NetworkKind::Wifi,
-        "3g-pinned" => NetworkKind::Umts3GPinned,
-        _ => usage(),
+    let network: NetworkSpec = args[0]
+        .parse()
+        .unwrap_or_else(|e| config_error(&format!("experiments paired: network: {e}")));
+    let seeds = parse_flag_u64(args, "--seeds", ExpOpts::default().seeds);
+    if seeds == 0 {
+        config_error("experiments paired: --seeds: must be at least 1");
+    }
+
+    // The legacy paired sweep, re-expressed as a scenario manifest.
+    let mut manifest = Manifest::paper_baseline("paired");
+    manifest.name = format!("paired_{}", network.cli_name());
+    manifest.network.kind = network;
+    manifest.seeds = Seeds {
+        base: 0,
+        count: seeds,
     };
-    let mut opts = ExpOpts::default();
-    if let Some(i) = args.iter().position(|a| a == "--seeds") {
-        opts.seeds = args
-            .get(i + 1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| usage());
+    manifest.tcp_traces = true;
+    manifest.outputs.paired_dump = true;
+
+    let run = scenario_run::execute_on(&Executor::from_env(), &manifest);
+    if let Some((_, e)) = &run.limit_error {
+        eprintln!("experiments paired: {e}");
+        std::process::exit(ScenarioExit::LimitExceeded.code());
     }
-    let pairs = paired_runs(network, opts, true);
-    let mut out = String::new();
-    for (http, spdy) in &pairs {
-        out.push_str(&serde_json::to_string(http).expect("serialize http run"));
-        out.push('\n');
-        out.push_str(&serde_json::to_string(spdy).expect("serialize spdy run"));
-        out.push('\n');
-    }
+    let out = scenario_run::paired_dump_string(&run);
+
     let path = std::path::PathBuf::from(&args[1]);
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).expect("create dump dir");
         }
     }
-    std::fs::write(&path, out).expect("write paired dump");
-    println!("wrote {} ({} pairs)", path.display(), pairs.len());
+    std::fs::write(&path, &out).expect("write paired dump");
+    let dump_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "paired.jsonl".to_string());
+    let keys = spdyier_core::contract::json_line_keys(out.lines().next().unwrap_or_default());
+    let meta = spdyier_core::paired_meta_file(&dump_name, network.cli_name(), seeds, &keys);
+    let meta_path = path.with_file_name(&meta.name);
+    std::fs::write(&meta_path, &meta.contents).expect("write paired dump sidecar");
+    println!("wrote {} ({} pairs)", path.display(), seeds);
+    println!("wrote {}", meta_path.display());
     std::process::exit(0);
+}
+
+/// `experiments run <MANIFEST> [--out DIR] [--seeds N]`: the scenario
+/// runner front-end.
+fn run_scenario(args: &[String]) -> ! {
+    let usage = "usage: experiments run <MANIFEST.(json|yaml)> [--out DIR] [--seeds N]";
+    let mut manifest_path: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut seeds_override: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    config_error("experiments run: --out: expected a directory after the flag")
+                }));
+            }
+            "--seeds" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| {
+                    config_error("experiments run: --seeds: expected a number after the flag")
+                });
+                seeds_override = Some(raw.parse().unwrap_or_else(|_| {
+                    config_error(&format!(
+                        "experiments run: --seeds: expected an unsigned integer, got {raw:?}"
+                    ))
+                }));
+            }
+            other if manifest_path.is_none() => manifest_path = Some(other.to_string()),
+            other => config_error(&format!(
+                "experiments run: unexpected argument {other:?}\n{usage}"
+            )),
+        }
+        i += 1;
+    }
+    let Some(manifest_path) = manifest_path else {
+        config_error(usage);
+    };
+    let mut manifest = Manifest::from_file(std::path::Path::new(&manifest_path))
+        .unwrap_or_else(|e| config_error(&format!("{manifest_path}: {e}")));
+    if let Some(n) = seeds_override {
+        if n == 0 {
+            config_error("experiments run: --seeds: must be at least 1");
+        }
+        manifest.seeds.count = n;
+    }
+    let out_dir = out_dir.unwrap_or_else(|| format!("results/{}", manifest.name));
+    match spdyier_experiments::run_manifest(&manifest, std::path::Path::new(&out_dir)) {
+        Ok(outcome) => {
+            for p in &outcome.written {
+                println!("wrote {}", p.display());
+            }
+            println!("{}", outcome.summary);
+            std::process::exit(outcome.exit.code());
+        }
+        Err(e) => config_error(&format!("experiments run: --out {out_dir:?}: {e}")),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: experiments <id|all> [--seeds N] [--json DIR]");
+        eprintln!("       experiments run <MANIFEST.(json|yaml)> [--out DIR] [--seeds N]");
         eprintln!("       experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments paired <3g|lte|wifi|3g-pinned> <FILE> [--seeds N]");
@@ -278,7 +377,10 @@ fn main() {
             "       experiments profile <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N] [--seeds N]"
         );
         eprintln!("ids: {}", ALL_EXPERIMENTS.join(" "));
-        std::process::exit(2);
+        std::process::exit(ScenarioExit::ConfigError.code());
+    }
+    if args[0] == "run" {
+        run_scenario(&args[1..]);
     }
     if args[0] == "export" {
         run_export(&args[1..]);
@@ -301,15 +403,13 @@ fn main() {
             "--seeds" => {
                 i += 1;
                 opts.seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seeds needs a number");
-                    std::process::exit(2);
+                    config_error("--seeds: expected an unsigned integer after the flag")
                 });
             }
             "--json" => {
                 i += 1;
                 json_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--json needs a directory");
-                    std::process::exit(2);
+                    config_error("--json: expected a directory after the flag")
                 }));
             }
             other => ids.push(other.to_string()),
@@ -345,9 +445,10 @@ fn main() {
                 }
             }
             None => {
-                eprintln!("unknown experiment id: {id}");
-                eprintln!("ids: {}", ALL_EXPERIMENTS.join(" "));
-                std::process::exit(2);
+                config_error(&format!(
+                    "unknown experiment id: {id}\nids: {}",
+                    ALL_EXPERIMENTS.join(" ")
+                ));
             }
         }
     }

@@ -1,0 +1,328 @@
+//! The manifest-driven scenario runner.
+//!
+//! [`run_manifest`] takes a decoded [`Manifest`], fans its cells across
+//! the deterministic parallel [`Executor`] (outputs land in cell order,
+//! so every artifact is byte-identical at any pool width), evaluates the
+//! manifest's assertions over the pooled cell metrics, and writes the
+//! versioned results contract: `result.json`, `junit.xml`, and the
+//! optional legacy artifacts (paired dump + sidecar, per-cell trace
+//! bundles). The returned [`ScenarioOutcome`] carries the standardized
+//! exit code (0 pass / 1 assertion failure / 2 limit exceeded — config
+//! errors never reach the runner; they fail at manifest decode, exit 3).
+
+use crate::exec::Executor;
+use serde::{Serialize, Value};
+use spdyier_core::{
+    attribute_stalls, junit_xml, metrics_file, paired_meta_file, stall_file, stall_manifest_file,
+    waterfall_json, AssertionVerdict, DataFile, FlightLog, RunError, RunResult, ScenarioExit,
+    TraceLevel, VerdictStatus,
+};
+use spdyier_scenario::{evaluate, Cell, CellMetrics, Manifest};
+use std::path::{Path, PathBuf};
+
+/// Everything a scenario run produced.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Standardized exit status.
+    pub exit: ScenarioExit,
+    /// One-line human summary (cells run, verdict counts).
+    pub summary: String,
+    /// Assertion verdicts, in manifest order.
+    pub verdicts: Vec<AssertionVerdict>,
+    /// Paths written under the output directory.
+    pub written: Vec<PathBuf>,
+}
+
+/// The raw per-cell results of executing a manifest, in cell order.
+pub struct ScenarioRun {
+    /// The expanded cells.
+    pub cells: Vec<Cell>,
+    /// One `(result, flight log)` per completed cell; the log is `None`
+    /// when the effective trace level is `Off`.
+    pub results: Vec<Option<(RunResult, Option<FlightLog>)>>,
+    /// The first cell that exceeded a limit, with its error.
+    pub limit_error: Option<(usize, RunError)>,
+}
+
+/// Execute every cell of `manifest` on `exec`. Cell outputs are collected
+/// in cell order regardless of worker interleaving.
+pub fn execute_on(exec: &Executor, manifest: &Manifest) -> ScenarioRun {
+    let cells = manifest.cells();
+    let level = manifest.effective_trace();
+    let raw = exec.run(cells.len(), |i| {
+        let cfg = cells[i].build_config(manifest);
+        if level == TraceLevel::Off {
+            spdyier_core::try_run_experiment(cfg).map(|r| (r, None))
+        } else {
+            spdyier_core::try_run_experiment_traced(cfg).map(|(r, log)| (r, Some(log)))
+        }
+    });
+    let mut limit_error = None;
+    let results = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(pair) => Some(pair),
+            Err(e) => {
+                if limit_error.is_none() {
+                    limit_error = Some((i, e));
+                }
+                None
+            }
+        })
+        .collect();
+    ScenarioRun {
+        cells,
+        results,
+        limit_error,
+    }
+}
+
+/// The legacy paired-sweep JSONL dump for a paired manifest's run: one
+/// serialized [`RunResult`] line per cell, in cell order — for a paired
+/// manifest that is HTTP then SPDY per seed, byte-identical to the
+/// historical `experiments paired` output.
+pub fn paired_dump_string(run: &ScenarioRun) -> String {
+    let mut out = String::new();
+    for result in run.results.iter().flatten() {
+        out.push_str(&serde_json::to_string(&result.0).expect("serialize run"));
+        out.push('\n');
+    }
+    out
+}
+
+fn status_str(exit: ScenarioExit) -> &'static str {
+    match exit {
+        ScenarioExit::Pass => "pass",
+        ScenarioExit::AssertionFailed => "fail",
+        ScenarioExit::LimitExceeded => "limit",
+        ScenarioExit::ConfigError => "config_error",
+    }
+}
+
+struct SerializeValue(Value);
+
+impl Serialize for SerializeValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Assemble `result.json` (schema v1; the integration suite pins the key
+/// set).
+fn result_file(
+    manifest: &Manifest,
+    exit: ScenarioExit,
+    cell_metrics: &[CellMetrics],
+    verdicts: &[AssertionVerdict],
+    limit_detail: Option<&str>,
+    artifacts: &[String],
+) -> DataFile {
+    let mut top: Vec<(String, Value)> = vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(spdyier_core::RESULT_SCHEMA_VERSION)),
+        ),
+        ("scenario".into(), Value::Str(manifest.name.clone())),
+        (
+            "description".into(),
+            Value::Str(manifest.description.clone()),
+        ),
+        (
+            "network".into(),
+            Value::Str(manifest.network.kind.cli_name().into()),
+        ),
+        (
+            "seeds".into(),
+            Value::Object(vec![
+                ("base".into(), Value::U64(manifest.seeds.base)),
+                ("count".into(), Value::U64(manifest.seeds.count)),
+            ]),
+        ),
+        ("status".into(), Value::Str(status_str(exit).into())),
+        ("exit_code".into(), Value::I64(i64::from(exit.code()))),
+        (
+            "cells".into(),
+            Value::Array(
+                cell_metrics
+                    .iter()
+                    .map(CellMetrics::summary_value)
+                    .collect(),
+            ),
+        ),
+        (
+            "assertions".into(),
+            Value::Array(verdicts.iter().map(Serialize::to_value).collect()),
+        ),
+        (
+            "artifacts".into(),
+            Value::Array(artifacts.iter().map(|a| Value::Str(a.clone())).collect()),
+        ),
+    ];
+    if let Some(detail) = limit_detail {
+        top.push(("limit".into(), Value::Str(detail.into())));
+    }
+    let mut contents =
+        serde_json::to_string_pretty(&SerializeValue(Value::Object(top))).expect("result.json");
+    contents.push('\n');
+    DataFile {
+        name: "result.json".into(),
+        contents,
+    }
+}
+
+/// Per-cell trace artifacts (the legacy `experiments trace` bundle plus
+/// the schema-versioned stall-table sidecar).
+fn trace_artifacts(manifest: &Manifest, run: &ScenarioRun) -> Vec<DataFile> {
+    let mut files = Vec::new();
+    for (cell, result) in run.cells.iter().zip(&run.results) {
+        let Some((result, Some(log))) = result.as_ref() else {
+            continue;
+        };
+        let label = cell.artifact_label(manifest);
+        let stalls = stall_file(&label, &attribute_stalls(log));
+        files.push(DataFile {
+            name: format!("trace_{label}.jsonl"),
+            contents: log.to_jsonl(),
+        });
+        files.push(DataFile {
+            name: format!("waterfall_{label}.har.json"),
+            contents: waterfall_json(result),
+        });
+        files.push(stall_manifest_file(&stalls));
+        files.push(stalls);
+        files.push(metrics_file(&label, &log.metrics));
+    }
+    files
+}
+
+/// Run a manifest end to end on the default executor and write its
+/// artifacts to `out_dir`.
+pub fn run_manifest(manifest: &Manifest, out_dir: &Path) -> std::io::Result<ScenarioOutcome> {
+    run_manifest_on(&Executor::from_env(), manifest, out_dir)
+}
+
+/// [`run_manifest`] on an explicit executor (tests pin the pool width).
+pub fn run_manifest_on(
+    exec: &Executor,
+    manifest: &Manifest,
+    out_dir: &Path,
+) -> std::io::Result<ScenarioOutcome> {
+    let run = execute_on(exec, manifest);
+    finish(manifest, &run, out_dir)
+}
+
+/// Evaluate assertions over an executed [`ScenarioRun`] and write the
+/// results-contract artifacts. Split from [`run_manifest_on`] so callers
+/// that need the raw run (the legacy `trace` subcommand prints event
+/// counts) can execute first and finish after.
+pub fn finish(
+    manifest: &Manifest,
+    run: &ScenarioRun,
+    out_dir: &Path,
+) -> std::io::Result<ScenarioOutcome> {
+    let cell_metrics: Vec<CellMetrics> = run
+        .cells
+        .iter()
+        .zip(&run.results)
+        .filter_map(|(cell, result)| {
+            result
+                .as_ref()
+                .map(|(r, log)| CellMetrics::from_run(cell, r, log.as_ref()))
+        })
+        .collect();
+
+    let (verdicts, limit_detail, exit);
+    if let Some((index, e)) = &run.limit_error {
+        let cell = &run.cells[*index];
+        limit_detail = Some(format!(
+            "cell {} ({} seed {}): {}",
+            index,
+            cell.protocol.compact(),
+            cell.seed,
+            e
+        ));
+        verdicts = Vec::new();
+        exit = ScenarioExit::LimitExceeded;
+    } else {
+        limit_detail = None;
+        verdicts = evaluate(manifest, &cell_metrics);
+        let failed = verdicts.iter().any(|v| v.status == VerdictStatus::Fail);
+        exit = if failed {
+            ScenarioExit::AssertionFailed
+        } else {
+            ScenarioExit::Pass
+        };
+    }
+
+    let mut files = vec![DataFile {
+        name: "junit.xml".into(),
+        contents: junit_xml(&manifest.name, &verdicts),
+    }];
+    if manifest.outputs.paired_dump && run.limit_error.is_none() {
+        let dump_name = format!("paired_{}.jsonl", manifest.network.kind.cli_name());
+        let dump = paired_dump_string(run);
+        let keys = spdyier_core::contract::json_line_keys(dump.lines().next().unwrap_or_default());
+        files.push(paired_meta_file(
+            &dump_name,
+            manifest.network.kind.cli_name(),
+            manifest.seeds.count,
+            &keys,
+        ));
+        files.push(DataFile {
+            name: dump_name,
+            contents: dump,
+        });
+    }
+    if manifest.outputs.trace_artifacts {
+        files.extend(trace_artifacts(manifest, run));
+    }
+    let artifact_names: Vec<String> = std::iter::once("result.json".to_string())
+        .chain(files.iter().map(|f| f.name.clone()))
+        .collect();
+    files.insert(
+        0,
+        result_file(
+            manifest,
+            exit,
+            &cell_metrics,
+            &verdicts,
+            limit_detail.as_deref(),
+            &artifact_names,
+        ),
+    );
+
+    let written = spdyier_core::write_to_dir(&files, out_dir)?;
+
+    let passed = verdicts
+        .iter()
+        .filter(|v| v.status == VerdictStatus::Pass)
+        .count();
+    let failed = verdicts
+        .iter()
+        .filter(|v| v.status == VerdictStatus::Fail)
+        .count();
+    let skipped = verdicts
+        .iter()
+        .filter(|v| v.status == VerdictStatus::Skipped)
+        .count();
+    let summary = match &limit_detail {
+        Some(detail) => format!(
+            "scenario {}: LIMIT EXCEEDED ({detail}) — exit {}",
+            manifest.name,
+            exit.code()
+        ),
+        None => format!(
+            "scenario {}: {} cell(s), {passed} passed / {failed} failed / {skipped} skipped — exit {}",
+            manifest.name,
+            run.cells.len(),
+            exit.code()
+        ),
+    };
+    Ok(ScenarioOutcome {
+        exit,
+        summary,
+        verdicts,
+        written,
+    })
+}

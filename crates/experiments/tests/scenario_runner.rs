@@ -1,0 +1,207 @@
+//! End-to-end tests of the manifest runner: exit codes, the result.json
+//! contract, and byte-identity between the legacy paired sweep and its
+//! manifest re-expression.
+
+use spdyier_core::ScenarioExit;
+use spdyier_experiments::scenario_run::{execute_on, finish, paired_dump_string, run_manifest_on};
+use spdyier_experiments::{paired_runs_on, Executor, ExpOpts};
+use spdyier_scenario::{Manifest, Seeds};
+use std::path::PathBuf;
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spdyier_scenario_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A sub-second wifi synthetic-page manifest the tests mutate.
+fn quick_manifest(name: &str) -> Manifest {
+    Manifest::from_json(&format!(
+        r#"{{
+            "schema_version": 1,
+            "name": "{name}",
+            "network": {{ "kind": "wifi" }},
+            "workload": {{
+                "kind": "synthetic",
+                "objects": 10,
+                "object_bytes": 2000,
+                "same_domain": true,
+                "visits": 1,
+                "interval_s": 30
+            }},
+            "protocols": ["http", "spdy"]
+        }}"#
+    ))
+    .expect("quick manifest decodes")
+}
+
+#[test]
+fn failing_assertion_yields_exit_1_and_failed_verdict() {
+    let mut m = quick_manifest("must_fail");
+    m.assertions =
+        vec![spdyier_scenario::Assertion::parse("plt_p50_ms < 1").expect("assertion parses")];
+    let dir = out_dir("fail");
+    let outcome = run_manifest_on(&Executor::new(2), &m, &dir).expect("runner writes");
+    assert_eq!(outcome.exit, ScenarioExit::AssertionFailed);
+    assert_eq!(outcome.exit.code(), 1);
+
+    let result = std::fs::read_to_string(dir.join("result.json")).expect("result.json exists");
+    let v = serde_json::from_str(&result).expect("result.json parses");
+    assert_eq!(v["status"], serde_json::Value::Str("fail".into()));
+    assert_eq!(v["exit_code"], serde_json::Value::U64(1));
+    assert_eq!(
+        v["assertions"][0]["status"],
+        serde_json::Value::Str("fail".into())
+    );
+    let junit = std::fs::read_to_string(dir.join("junit.xml")).expect("junit.xml exists");
+    assert!(junit.contains("failures=\"1\""), "{junit}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn result_json_top_level_keys_are_pinned() {
+    let m = quick_manifest("keyset");
+    let dir = out_dir("keys");
+    run_manifest_on(&Executor::new(2), &m, &dir).expect("runner writes");
+    let result = std::fs::read_to_string(dir.join("result.json")).expect("result.json exists");
+    let serde_json::Value::Object(entries) = serde_json::from_str(&result).expect("parses") else {
+        panic!("result.json is an object");
+    };
+    let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "schema_version",
+            "scenario",
+            "description",
+            "network",
+            "seeds",
+            "status",
+            "exit_code",
+            "cells",
+            "assertions",
+            "artifacts",
+        ]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_event_budget_yields_exit_2_and_limit_status() {
+    let mut m = quick_manifest("limited");
+    m.limits.event_budget = 50;
+    let dir = out_dir("limit");
+    let outcome = run_manifest_on(&Executor::new(2), &m, &dir).expect("runner writes");
+    assert_eq!(outcome.exit, ScenarioExit::LimitExceeded);
+    assert_eq!(outcome.exit.code(), 2);
+    let result = std::fs::read_to_string(dir.join("result.json")).expect("result.json exists");
+    let v = serde_json::from_str(&result).expect("parses");
+    assert_eq!(v["status"], serde_json::Value::Str("limit".into()));
+    assert!(
+        matches!(&v["limit"], serde_json::Value::Str(s) if s.contains("event budget")),
+        "{result}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn paired_manifest_matches_legacy_paired_sweep_bytes() {
+    // The legacy dump, exactly as `experiments paired wifi` built it.
+    let exec = Executor::new(2);
+    let pairs = paired_runs_on(
+        &exec,
+        spdyier_core::NetworkKind::Wifi,
+        ExpOpts::quick(),
+        true,
+    );
+    let mut legacy = String::new();
+    for (http, spdy) in &pairs {
+        legacy.push_str(&serde_json::to_string(http).expect("serialize http run"));
+        legacy.push('\n');
+        legacy.push_str(&serde_json::to_string(spdy).expect("serialize spdy run"));
+        legacy.push('\n');
+    }
+
+    // The same sweep through the manifest path.
+    let mut m = Manifest::paper_baseline("paired_wifi");
+    m.network.kind = spdyier_core::NetworkKind::Wifi;
+    m.seeds = Seeds { base: 0, count: 1 };
+    m.tcp_traces = true;
+    m.outputs.paired_dump = true;
+    let run = execute_on(&exec, &m);
+    assert!(run.limit_error.is_none());
+    assert_eq!(paired_dump_string(&run), legacy);
+}
+
+#[test]
+fn committed_scenario_pack_decodes() {
+    let pack = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&pack).expect("scenarios/ exists") {
+        let path = entry.expect("read entry").path();
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        if !matches!(ext, "json" | "yaml" | "yml") {
+            continue;
+        }
+        let m = Manifest::from_file(&path)
+            .unwrap_or_else(|e| panic!("{} fails to decode: {e}", path.display()));
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 stem");
+        assert_eq!(
+            m.name,
+            stem,
+            "{}: manifest name must match file stem",
+            path.display()
+        );
+        assert!(!m.cells().is_empty());
+        seen += 1;
+    }
+    assert!(
+        seen >= 6,
+        "expected the starter pack, found {seen} manifests"
+    );
+}
+
+#[test]
+fn skipped_network_clause_is_reported_not_failed() {
+    let mut m = quick_manifest("skipper");
+    m.assertions =
+        vec![spdyier_scenario::Assertion::parse("plt_p50_ms < 60000 on lte").expect("parses")];
+    let dir = out_dir("skip");
+    let outcome = run_manifest_on(&Executor::new(2), &m, &dir).expect("runner writes");
+    assert_eq!(outcome.exit, ScenarioExit::Pass);
+    assert_eq!(outcome.verdicts.len(), 1);
+    assert_eq!(
+        outcome.verdicts[0].status,
+        spdyier_core::VerdictStatus::Skipped
+    );
+    let junit = std::fs::read_to_string(dir.join("junit.xml")).expect("junit.xml exists");
+    assert!(junit.contains("skipped"), "{junit}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_manifest_writes_the_legacy_artifact_set_plus_contract() {
+    let mut m = quick_manifest("traced");
+    m.protocols = vec![spdyier_scenario::ProtocolSpec::parse("spdy").expect("parses")];
+    m.trace = spdyier_core::TraceLevel::Full;
+    m.outputs.trace_artifacts = true;
+    let dir = out_dir("trace");
+    let run = execute_on(&Executor::new(1), &m);
+    let outcome = finish(&m, &run, &dir).expect("runner writes");
+    assert_eq!(outcome.exit, ScenarioExit::Pass);
+    for name in [
+        "result.json",
+        "junit.xml",
+        "trace_spdy.jsonl",
+        "waterfall_spdy.har.json",
+        "stalls_spdy.dat",
+        "stalls_spdy.manifest.json",
+        "metrics_spdy.json",
+    ] {
+        assert!(dir.join(name).is_file(), "missing artifact {name}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

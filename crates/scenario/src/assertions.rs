@@ -1,0 +1,308 @@
+//! The assertion DSL: `lhs op rhs [on <network>]`.
+//!
+//! Each side is either a number literal or a dotted metric reference.
+//! A reference is zero or more *filter* segments (protocol compact names
+//! like `spdy` / `spdy:20:late`, matrix variant names, or `seed<N>`)
+//! followed by a metric name; the filters select which cells' samples
+//! are pooled before the metric is computed. `counter.<name>` reaches
+//! through to the trace metrics registry. Examples:
+//!
+//! ```text
+//! spdy.rto_stall_ms > http.rto_stall_ms on 3g
+//! plt_p50_ms < 9000
+//! http.counter.tcp.rto_fired >= 1
+//! ```
+//!
+//! Parsing is strict and happens at manifest decode time, so a typo'd
+//! metric name is an exit-code-3 config error, not a silently-skipped
+//! check. The `on <network>` clause gates evaluation: when it names a
+//! network other than the manifest's, the verdict is `skipped` — letting
+//! one assertion list serve a family of per-network manifests.
+
+use spdyier_core::NetworkSpec;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    pub fn holds(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The operator as written.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A pooled metric reference: filters + metric name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRef {
+    /// Cell filters, all of which must match (empty = every cell).
+    pub filters: Vec<String>,
+    /// Metric name (one of [`KNOWN_METRICS`] or `counter.<name>`).
+    pub metric: String,
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A literal number.
+    Number(f64),
+    /// A pooled metric.
+    Metric(MetricRef),
+}
+
+/// A parsed assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assertion {
+    /// The expression as written in the manifest.
+    pub expr: String,
+    /// Left-hand side.
+    pub lhs: Operand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Operand,
+    /// Optional `on <network>` gate.
+    pub on: Option<NetworkSpec>,
+}
+
+/// Every metric name the evaluator computes from pooled cells, besides
+/// the `counter.<name>` passthrough.
+pub const KNOWN_METRICS: [&str; 23] = [
+    "plt_p50_ms",
+    "plt_p90_ms",
+    "plt_p95_ms",
+    "plt_mean_ms",
+    "plt_min_ms",
+    "plt_max_ms",
+    "completion_rate",
+    "visits",
+    "completed_visits",
+    "promotion_stall_ms",
+    "serialization_stall_ms",
+    "queueing_stall_ms",
+    "rto_stall_ms",
+    "rto_stall_per_event_ms",
+    "think_stall_ms",
+    "other_stall_ms",
+    "retransmissions",
+    "timeouts",
+    "idle_restarts",
+    "connections_opened",
+    "promotions",
+    "energy_mj",
+    "total_bytes",
+];
+
+/// The metrics that need per-visit stall attribution (and therefore at
+/// least `Transport`-level flight recording).
+pub const STALL_METRICS: [&str; 7] = [
+    "promotion_stall_ms",
+    "serialization_stall_ms",
+    "queueing_stall_ms",
+    "rto_stall_ms",
+    "rto_stall_per_event_ms",
+    "think_stall_ms",
+    "other_stall_ms",
+];
+
+impl MetricRef {
+    fn parse(token: &str) -> Result<MetricRef, String> {
+        let segments: Vec<&str> = token.split('.').collect();
+        if segments.iter().any(|s| s.is_empty()) {
+            return Err(format!("malformed metric reference {token:?}"));
+        }
+        // `counter.<name>` may itself contain dots (registry names like
+        // `tcp.rto_fired`), so everything from the `counter` segment on
+        // is the metric; filters are the segments before it.
+        if let Some(pos) = segments.iter().position(|&s| s == "counter") {
+            if pos + 1 == segments.len() {
+                return Err(format!(
+                    "metric reference {token:?} is missing a counter name"
+                ));
+            }
+            return Ok(MetricRef {
+                filters: segments[..pos].iter().map(|s| s.to_string()).collect(),
+                metric: segments[pos..].join("."),
+            });
+        }
+        let (metric, filters) = segments.split_last().expect("split never empty");
+        if !KNOWN_METRICS.contains(metric) {
+            return Err(format!(
+                "unknown metric {metric:?} (expected one of: {}, or counter.<name>)",
+                KNOWN_METRICS.join(", ")
+            ));
+        }
+        Ok(MetricRef {
+            filters: filters.iter().map(|s| s.to_string()).collect(),
+            metric: metric.to_string(),
+        })
+    }
+
+    /// Whether this reference needs stall attribution.
+    pub fn needs_stall_metrics(&self) -> bool {
+        STALL_METRICS.contains(&self.metric.as_str())
+    }
+}
+
+impl Operand {
+    fn parse(token: &str) -> Result<Operand, String> {
+        // Number literals win; anything else must be a metric reference.
+        if token
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+        {
+            return token
+                .parse::<f64>()
+                .map(Operand::Number)
+                .map_err(|_| format!("malformed number literal {token:?}"));
+        }
+        MetricRef::parse(token).map(Operand::Metric)
+    }
+
+    /// The metric reference, if this side is one.
+    pub fn metric(&self) -> Option<&MetricRef> {
+        match self {
+            Operand::Metric(m) => Some(m),
+            Operand::Number(_) => None,
+        }
+    }
+}
+
+impl Assertion {
+    /// Parse `lhs op rhs [on <network>]`.
+    pub fn parse(expr: &str) -> Result<Assertion, String> {
+        let tokens: Vec<&str> = expr.split_whitespace().collect();
+        let (head, on) = match tokens.len() {
+            3 => (&tokens[..3], None),
+            5 if tokens[3] == "on" => {
+                let net: NetworkSpec = tokens[4].parse()?;
+                (&tokens[..3], Some(net))
+            }
+            _ => {
+                return Err(format!(
+                    "malformed assertion {expr:?} (expected \"<lhs> <op> <rhs> [on <network>]\")"
+                ))
+            }
+        };
+        let op = match head[1] {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            other => {
+                return Err(format!(
+                    "unknown operator {other:?} (expected <, <=, >, or >=)"
+                ))
+            }
+        };
+        let lhs = Operand::parse(head[0])?;
+        let rhs = Operand::parse(head[2])?;
+        if lhs.metric().is_none() && rhs.metric().is_none() {
+            return Err(format!(
+                "assertion {expr:?} compares two literals — nothing is measured"
+            ));
+        }
+        Ok(Assertion {
+            expr: expr.to_string(),
+            lhs,
+            op,
+            rhs,
+            on,
+        })
+    }
+
+    /// Whether either side references a stall-attribution metric.
+    pub fn needs_stall_metrics(&self) -> bool {
+        [&self.lhs, &self.rhs]
+            .into_iter()
+            .filter_map(Operand::metric)
+            .any(MetricRef::needs_stall_metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_headline() {
+        let a = Assertion::parse("spdy.rto_stall_ms > http.rto_stall_ms on 3g").unwrap();
+        assert_eq!(a.op, CmpOp::Gt);
+        assert_eq!(a.on, Some(NetworkSpec::Umts3G));
+        assert!(a.needs_stall_metrics());
+        let lhs = a.lhs.metric().unwrap();
+        assert_eq!(lhs.filters, ["spdy"]);
+        assert_eq!(lhs.metric, "rto_stall_ms");
+    }
+
+    #[test]
+    fn parses_literals_and_counters() {
+        let a = Assertion::parse("plt_p50_ms < 9000").unwrap();
+        assert_eq!(a.rhs, Operand::Number(9000.0));
+        assert!(!a.needs_stall_metrics());
+
+        let a = Assertion::parse("http.counter.tcp.rto_fired >= 1").unwrap();
+        let lhs = a.lhs.metric().unwrap();
+        assert_eq!(lhs.filters, ["http"]);
+        assert_eq!(lhs.metric, "counter.tcp.rto_fired");
+    }
+
+    #[test]
+    fn filters_can_stack() {
+        let a = Assertion::parse("spdy:20:late.seed3.plt_mean_ms <= 12000").unwrap();
+        let lhs = a.lhs.metric().unwrap();
+        assert_eq!(lhs.filters, ["spdy:20:late", "seed3"]);
+        assert_eq!(lhs.metric, "plt_mean_ms");
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_reasons() {
+        for (expr, needle) in [
+            ("plt_p50_ms < ", "malformed assertion"),
+            ("plt_p50_ms ~ 9", "unknown operator"),
+            ("plt_p50 < 9000", "unknown metric"),
+            ("1 < 2", "two literals"),
+            ("plt_p50_ms < 9000 on 4g", "unknown network"),
+            ("spdy..plt_p50_ms < 9000", "malformed metric reference"),
+            ("http.counter < 1", "missing a counter name"),
+        ] {
+            let e = Assertion::parse(expr).unwrap_err();
+            assert!(e.contains(needle), "{expr:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn comparisons_hold() {
+        assert!(CmpOp::Lt.holds(1.0, 2.0));
+        assert!(CmpOp::Le.holds(2.0, 2.0));
+        assert!(CmpOp::Gt.holds(3.0, 2.0));
+        assert!(CmpOp::Ge.holds(2.0, 2.0));
+        assert!(!CmpOp::Gt.holds(2.0, 2.0));
+        assert_eq!(CmpOp::Ge.symbol(), ">=");
+    }
+}

@@ -1,0 +1,42 @@
+//! # spdyier-scenario
+//!
+//! Declarative scenario manifests: an experiment as *data* instead of a
+//! Rust function. A manifest (JSON, or the strict YAML subset in
+//! [`yaml`]) declares the network, workload, protocol sides, §6
+//! mitigation knobs, an optional knob matrix, seeds, trace level,
+//! limits, and assertions; [`Manifest::cells`] expands it into the
+//! deterministic run cells and [`Cell::build_config`] produces the exact
+//! [`spdyier_core::ExperimentConfig`] each cell runs — with defaults
+//! that reproduce the paper baseline byte-for-byte.
+//!
+//! The runner half (parallel execution, `result.json` + JUnit XML
+//! emission, exit codes) lives in `spdyier-experiments`; this crate is
+//! pure data and evaluation so it stays trivially testable:
+//!
+//! ```
+//! use spdyier_scenario::Manifest;
+//!
+//! let m = Manifest::from_json(r#"{
+//!     "schema_version": 1,
+//!     "name": "headline",
+//!     "network": { "kind": "3g" },
+//!     "protocols": ["http", "spdy"],
+//!     "assertions": ["spdy.rto_stall_ms > http.rto_stall_ms on 3g"]
+//! }"#).unwrap();
+//! assert_eq!(m.cells().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod assertions;
+pub mod manifest;
+pub mod metrics;
+pub mod yaml;
+
+pub use assertions::{Assertion, CmpOp, MetricRef, Operand, KNOWN_METRICS, STALL_METRICS};
+pub use manifest::{
+    table1_schedule_for_seed, Cell, KnobValue, Limits, Manifest, ManifestError, Mitigations,
+    NetworkSection, Outputs, ProtocolSpec, Seeds, Workload, MANIFEST_SCHEMA_VERSION,
+};
+pub use metrics::{eval_metric, evaluate, CellMetrics};

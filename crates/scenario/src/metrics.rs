@@ -1,0 +1,463 @@
+//! Per-cell metric extraction and pooled assertion evaluation.
+//!
+//! Each run cell reduces to a [`CellMetrics`] accumulator (PLT samples,
+//! stall-category sums, trace counters, aggregate TCP/radio counters).
+//! Assertion references select cells by filter, merge the accumulators,
+//! and compute the named metric over the pool — so `spdy.rto_stall_ms`
+//! with three seeds is the mean over every SPDY visit of all three runs,
+//! not a mean of means.
+
+use crate::assertions::{Assertion, Operand};
+use crate::manifest::{Cell, Manifest};
+use serde::Value;
+use spdyier_core::{attribute_stalls, AssertionVerdict, FlightLog, RunResult, VerdictStatus};
+use spdyier_sim::stats::{mean, percentile};
+use std::collections::BTreeMap;
+
+/// Everything assertion evaluation needs from one run cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellMetrics {
+    /// Protocol compact name (`"http"`, `"spdy:20:late"`, …).
+    pub protocol: String,
+    /// Matrix variant name (`""` without a matrix).
+    pub variant: String,
+    /// Cell seed.
+    pub seed: u64,
+    /// PLT samples (ms) of completed visits.
+    pub plts_ms: Vec<f64>,
+    /// Scheduled visits.
+    pub visits: u64,
+    /// Completed visits.
+    pub completed: u64,
+    /// Stall-category sums in µs over attributed visits, in
+    /// [promotion, serialization, queueing, rto, think, other] order.
+    pub stall_sums_us: [u64; 6],
+    /// Visits with a stall attribution (0 when tracing was below
+    /// `Transport`).
+    pub stall_visits: u64,
+    /// Aggregate TCP retransmissions.
+    pub retransmissions: u64,
+    /// Aggregate RTO firings.
+    pub timeouts: u64,
+    /// Aggregate idle restarts.
+    pub idle_restarts: u64,
+    /// Client↔proxy connections opened.
+    pub connections_opened: u64,
+    /// RRC promotions taken.
+    pub promotions: u64,
+    /// Total page bytes over all visits.
+    pub total_bytes: u64,
+    /// Radio energy, mJ.
+    pub energy_mj: f64,
+    /// Trace metrics registry counters.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl CellMetrics {
+    /// Reduce one cell's run (and its flight log, when recorded).
+    pub fn from_run(cell: &Cell, result: &RunResult, log: Option<&FlightLog>) -> CellMetrics {
+        let mut m = CellMetrics {
+            protocol: cell.protocol.compact(),
+            variant: cell.variant.clone(),
+            seed: cell.seed,
+            plts_ms: result.plts_ms(),
+            visits: result.visits.len() as u64,
+            completed: result.visits.iter().filter(|v| v.completed).count() as u64,
+            retransmissions: result.total_retransmissions,
+            timeouts: result.total_timeouts,
+            idle_restarts: result.total_idle_restarts,
+            connections_opened: result.connections_opened,
+            promotions: result.promotions.len() as u64,
+            total_bytes: result.visits.iter().map(|v| v.total_bytes).sum(),
+            energy_mj: result.energy_mj,
+            ..CellMetrics::default()
+        };
+        if let Some(log) = log {
+            for b in attribute_stalls(log) {
+                m.stall_sums_us[0] += b.promotion_us;
+                m.stall_sums_us[1] += b.serialization_us;
+                m.stall_sums_us[2] += b.queueing_us;
+                m.stall_sums_us[3] += b.rto_stall_us;
+                m.stall_sums_us[4] += b.server_think_us;
+                m.stall_sums_us[5] += b.other_us;
+                m.stall_visits += 1;
+            }
+            for (name, count) in log.metrics.counters() {
+                *m.counters.entry(name.to_string()).or_insert(0) += count;
+            }
+        }
+        m
+    }
+
+    /// Whether `filter` selects this cell: the protocol compact name, the
+    /// variant name, or `seed<N>` (all case-insensitive).
+    pub fn matches(&self, filter: &str) -> bool {
+        let f = filter.to_ascii_lowercase();
+        f == self.protocol.to_ascii_lowercase()
+            || (!self.variant.is_empty() && f == self.variant.to_ascii_lowercase())
+            || f == format!("seed{}", self.seed)
+    }
+
+    fn merge(&mut self, other: &CellMetrics) {
+        self.plts_ms.extend_from_slice(&other.plts_ms);
+        self.visits += other.visits;
+        self.completed += other.completed;
+        for (sum, add) in self.stall_sums_us.iter_mut().zip(other.stall_sums_us) {
+            *sum += add;
+        }
+        self.stall_visits += other.stall_visits;
+        self.retransmissions += other.retransmissions;
+        self.timeouts += other.timeouts;
+        self.idle_restarts += other.idle_restarts;
+        self.connections_opened += other.connections_opened;
+        self.promotions += other.promotions;
+        self.total_bytes += other.total_bytes;
+        self.energy_mj += other.energy_mj;
+        for (name, count) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += count;
+        }
+    }
+
+    fn stall_mean_ms(&self, category: usize) -> Result<f64, String> {
+        if self.stall_visits == 0 {
+            return Err(
+                "no stall-attribution samples (stall metrics need transport-level tracing)".into(),
+            );
+        }
+        Ok(self.stall_sums_us[category] as f64 / 1_000.0 / self.stall_visits as f64)
+    }
+
+    /// Compute a named metric over this (possibly pooled) accumulator.
+    pub fn metric(&self, name: &str) -> Result<f64, String> {
+        if let Some(counter) = name.strip_prefix("counter.") {
+            return Ok(self.counters.get(counter).copied().unwrap_or(0) as f64);
+        }
+        Ok(match name {
+            "plt_p50_ms" => percentile(&self.plts_ms, 50.0),
+            "plt_p90_ms" => percentile(&self.plts_ms, 90.0),
+            "plt_p95_ms" => percentile(&self.plts_ms, 95.0),
+            "plt_mean_ms" => mean(&self.plts_ms),
+            "plt_min_ms" => percentile(&self.plts_ms, 0.0),
+            "plt_max_ms" => percentile(&self.plts_ms, 100.0),
+            "completion_rate" => {
+                if self.visits == 0 {
+                    0.0
+                } else {
+                    self.completed as f64 / self.visits as f64
+                }
+            }
+            "visits" => self.visits as f64,
+            "completed_visits" => self.completed as f64,
+            "promotion_stall_ms" => self.stall_mean_ms(0)?,
+            "serialization_stall_ms" => self.stall_mean_ms(1)?,
+            "queueing_stall_ms" => self.stall_mean_ms(2)?,
+            "rto_stall_ms" => self.stall_mean_ms(3)?,
+            // The paper's headline normalization: attributed RTO stall
+            // per RTO firing. One RTO on SPDY's single connection stalls
+            // the whole page; HTTP's pool hides most of its (more
+            // numerous) firings behind parallel transfers.
+            "rto_stall_per_event_ms" => {
+                if self.stall_visits == 0 {
+                    return Err(
+                        "no stall-attribution samples (stall metrics need transport-level tracing)"
+                            .into(),
+                    );
+                }
+                if self.timeouts == 0 {
+                    return Err("no RTO firings in the selected cells".into());
+                }
+                self.stall_sums_us[3] as f64 / 1_000.0 / self.timeouts as f64
+            }
+            "think_stall_ms" => self.stall_mean_ms(4)?,
+            "other_stall_ms" => self.stall_mean_ms(5)?,
+            "retransmissions" => self.retransmissions as f64,
+            "timeouts" => self.timeouts as f64,
+            "idle_restarts" => self.idle_restarts as f64,
+            "connections_opened" => self.connections_opened as f64,
+            "promotions" => self.promotions as f64,
+            "energy_mj" => self.energy_mj,
+            "total_bytes" => self.total_bytes as f64,
+            other => return Err(format!("unknown metric {other:?}")),
+        })
+    }
+
+    /// The per-cell summary object recorded in `result.json` (fixed key
+    /// set — the golden-schema test pins it).
+    pub fn summary_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = vec![
+            ("protocol".into(), Value::Str(self.protocol.clone())),
+            ("variant".into(), Value::Str(self.variant.clone())),
+            ("seed".into(), Value::U64(self.seed)),
+            ("visits".into(), Value::U64(self.visits)),
+            ("completed".into(), Value::U64(self.completed)),
+            (
+                "plt_p50_ms".into(),
+                Value::F64(percentile(&self.plts_ms, 50.0)),
+            ),
+            (
+                "plt_p90_ms".into(),
+                Value::F64(percentile(&self.plts_ms, 90.0)),
+            ),
+            ("plt_mean_ms".into(), Value::F64(mean(&self.plts_ms))),
+            ("retransmissions".into(), Value::U64(self.retransmissions)),
+            ("timeouts".into(), Value::U64(self.timeouts)),
+            (
+                "connections_opened".into(),
+                Value::U64(self.connections_opened),
+            ),
+            ("promotions".into(), Value::U64(self.promotions)),
+            ("total_bytes".into(), Value::U64(self.total_bytes)),
+            ("energy_mj".into(), Value::F64(self.energy_mj)),
+        ];
+        if self.stall_visits > 0 {
+            for (name, category) in [
+                ("promotion_stall_ms", 0),
+                ("serialization_stall_ms", 1),
+                ("queueing_stall_ms", 2),
+                ("rto_stall_ms", 3),
+                ("think_stall_ms", 4),
+                ("other_stall_ms", 5),
+            ] {
+                let value =
+                    self.stall_sums_us[category] as f64 / 1_000.0 / self.stall_visits as f64;
+                entries.push((name.into(), Value::F64(value)));
+            }
+        }
+        Value::Object(entries)
+    }
+}
+
+/// Pool the cells selected by `filters` and compute `metric` over them.
+pub fn eval_metric(cells: &[CellMetrics], filters: &[String], metric: &str) -> Result<f64, String> {
+    let mut pool = CellMetrics::default();
+    let mut matched = 0usize;
+    for cell in cells {
+        if filters.iter().all(|f| cell.matches(f)) {
+            pool.merge(cell);
+            matched += 1;
+        }
+    }
+    if matched == 0 {
+        return Err(format!(
+            "no cells match filter \"{}\" (cells: {})",
+            filters.join("."),
+            cells
+                .iter()
+                .map(|c| c.protocol.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    pool.metric(metric)
+}
+
+fn eval_operand(cells: &[CellMetrics], operand: &Operand) -> Result<f64, String> {
+    match operand {
+        Operand::Number(x) => Ok(*x),
+        Operand::Metric(m) => eval_metric(cells, &m.filters, &m.metric),
+    }
+}
+
+/// Evaluate every manifest assertion against the cells' metrics.
+pub fn evaluate(manifest: &Manifest, cells: &[CellMetrics]) -> Vec<AssertionVerdict> {
+    manifest
+        .assertions
+        .iter()
+        .map(|a| evaluate_one(a, manifest, cells))
+        .collect()
+}
+
+fn evaluate_one(a: &Assertion, manifest: &Manifest, cells: &[CellMetrics]) -> AssertionVerdict {
+    if let Some(net) = a.on {
+        if net != manifest.network.kind {
+            return AssertionVerdict {
+                expr: a.expr.clone(),
+                status: VerdictStatus::Skipped,
+                lhs: None,
+                rhs: None,
+                detail: format!(
+                    "network clause '{}' does not match '{}'",
+                    net.cli_name(),
+                    manifest.network.kind.cli_name()
+                ),
+            };
+        }
+    }
+    let lhs_res = eval_operand(cells, &a.lhs);
+    let rhs_res = eval_operand(cells, &a.rhs);
+    if let (&Ok(lhs), &Ok(rhs)) = (&lhs_res, &rhs_res) {
+        let holds = a.op.holds(lhs, rhs);
+        return AssertionVerdict {
+            expr: a.expr.clone(),
+            status: if holds {
+                VerdictStatus::Pass
+            } else {
+                VerdictStatus::Fail
+            },
+            lhs: Some(lhs),
+            rhs: Some(rhs),
+            detail: format!(
+                "{lhs:.1} {} {rhs:.1}{}",
+                a.op.symbol(),
+                if holds { "" } else { " is false" }
+            ),
+        };
+    }
+    let detail = [&lhs_res, &rhs_res]
+        .into_iter()
+        .filter_map(|r| r.as_ref().err().cloned())
+        .collect::<Vec<_>>()
+        .join("; ");
+    AssertionVerdict {
+        expr: a.expr.clone(),
+        status: VerdictStatus::Fail,
+        lhs: lhs_res.ok(),
+        rhs: rhs_res.ok(),
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+
+    fn cell(protocol: &str, seed: u64, plts: &[f64], rto_us: u64) -> CellMetrics {
+        CellMetrics {
+            protocol: protocol.into(),
+            seed,
+            plts_ms: plts.to_vec(),
+            visits: plts.len() as u64 + 1,
+            completed: plts.len() as u64,
+            stall_sums_us: [0, 0, 0, rto_us, 0, 0],
+            stall_visits: plts.len() as u64,
+            retransmissions: 4,
+            counters: BTreeMap::from([("tcp.rto_fired".to_string(), 3u64)]),
+            ..CellMetrics::default()
+        }
+    }
+
+    fn manifest_with(assertions: &[&str]) -> Manifest {
+        let mut m = Manifest::paper_baseline("t");
+        m.assertions = assertions
+            .iter()
+            .map(|s| Assertion::parse(s).unwrap())
+            .collect();
+        m
+    }
+
+    #[test]
+    fn pooling_merges_samples_across_cells() {
+        let cells = vec![
+            cell("http", 0, &[100.0, 200.0], 1_000),
+            cell("http", 1, &[300.0, 400.0], 3_000),
+            cell("spdy", 0, &[500.0], 10_000),
+        ];
+        // Pooled over both http cells: 4 samples, mean 250.
+        assert_eq!(
+            eval_metric(&cells, &["http".to_string()], "plt_mean_ms").unwrap(),
+            250.0
+        );
+        // seed filter narrows to one cell.
+        assert_eq!(
+            eval_metric(
+                &cells,
+                &["http".to_string(), "seed1".to_string()],
+                "plt_mean_ms"
+            )
+            .unwrap(),
+            350.0
+        );
+        // rto_stall_ms pools sums and visit counts: (1000+3000)/1000/4 = 1.0.
+        assert_eq!(
+            eval_metric(&cells, &["http".to_string()], "rto_stall_ms").unwrap(),
+            1.0
+        );
+        // counters sum across cells.
+        assert_eq!(
+            eval_metric(&cells, &[], "counter.tcp.rto_fired").unwrap(),
+            9.0
+        );
+        assert_eq!(eval_metric(&cells, &[], "retransmissions").unwrap(), 12.0);
+    }
+
+    #[test]
+    fn unmatched_filters_are_an_error() {
+        let cells = vec![cell("http", 0, &[100.0], 0)];
+        let e = eval_metric(&cells, &["spdy".to_string()], "plt_p50_ms").unwrap_err();
+        assert!(e.contains("no cells match"), "{e}");
+    }
+
+    #[test]
+    fn verdicts_pass_fail_and_skip() {
+        let cells = vec![
+            cell("http", 0, &[100.0], 1_000),
+            cell("spdy", 0, &[200.0], 5_000),
+        ];
+        let m = manifest_with(&[
+            "spdy.rto_stall_ms > http.rto_stall_ms on 3g",
+            "plt_p50_ms < 120",
+            "plt_p50_ms < 1 on lte",
+        ]);
+        let verdicts = evaluate(&m, &cells);
+        assert_eq!(verdicts[0].status, VerdictStatus::Pass);
+        assert_eq!(verdicts[0].lhs, Some(5.0));
+        assert_eq!(verdicts[0].rhs, Some(1.0));
+        assert_eq!(verdicts[1].status, VerdictStatus::Fail);
+        assert!(
+            verdicts[1].detail.contains("is false"),
+            "{}",
+            verdicts[1].detail
+        );
+        assert_eq!(verdicts[2].status, VerdictStatus::Skipped);
+        assert!(verdicts[2].detail.contains("lte"), "{}", verdicts[2].detail);
+    }
+
+    #[test]
+    fn missing_stall_samples_fail_with_reason() {
+        let mut c = cell("http", 0, &[100.0], 0);
+        c.stall_visits = 0;
+        let m = manifest_with(&["http.rto_stall_ms < 10"]);
+        let verdicts = evaluate(&m, &[c]);
+        assert_eq!(verdicts[0].status, VerdictStatus::Fail);
+        assert!(
+            verdicts[0].detail.contains("transport"),
+            "{}",
+            verdicts[0].detail
+        );
+    }
+
+    #[test]
+    fn summary_value_has_the_pinned_keys() {
+        let c = cell("http", 0, &[100.0], 2_000);
+        let Value::Object(entries) = c.summary_value() else {
+            panic!("summary is an object");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "protocol",
+                "variant",
+                "seed",
+                "visits",
+                "completed",
+                "plt_p50_ms",
+                "plt_p90_ms",
+                "plt_mean_ms",
+                "retransmissions",
+                "timeouts",
+                "connections_opened",
+                "promotions",
+                "total_bytes",
+                "energy_mj",
+                "promotion_stall_ms",
+                "serialization_stall_ms",
+                "queueing_stall_ms",
+                "rto_stall_ms",
+                "think_stall_ms",
+                "other_stall_ms",
+            ]
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! A strict-subset YAML front-end for manifests.
+//!
+//! Manifests are canonically JSON, but a thin YAML surface reads better
+//! for hand-written scenarios. Only the subset that maps 1:1 onto the
+//! JSON tree is accepted — anything fancier is a parse error, never a
+//! guess:
+//!
+//! - block mappings (`key: value`, nesting by 2+-space indentation)
+//! - block sequences of scalars (`- item`)
+//! - inline flow sequences of scalars (`[a, b, c]`)
+//! - scalars: `null`/`~`, `true`/`false`, JSON numbers, double-quoted
+//!   strings (JSON escapes), and bare strings
+//! - full-line and trailing ` #` comments
+//!
+//! No anchors, aliases, multi-document streams, flow mappings, block
+//! scalars, or tabs.
+
+use serde::Value;
+
+/// Parse strict-subset YAML into a `Value` tree.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut lines = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if line.contains('\t') {
+            return Err(format!("line {}: tabs are not allowed (use spaces)", i + 1));
+        }
+        let indent = line.len() - line.trim_start().len();
+        lines.push((i + 1, indent, line.trim_start().to_string()));
+    }
+    if lines.is_empty() {
+        return Err("empty document".to_string());
+    }
+    let (value, consumed) = parse_block(&lines, 0, lines[0].1)?;
+    if consumed != lines.len() {
+        let (num, _, _) = &lines[consumed];
+        return Err(format!(
+            "line {num}: content indented left of the document root"
+        ));
+    }
+    Ok(value)
+}
+
+/// Strip a trailing comment: a `#` at start of content or preceded by a
+/// space, outside double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut prev: Option<char> = None;
+    for (pos, c) in line.char_indices() {
+        if in_quotes {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_quotes = false;
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == '#' && prev.is_none_or(|p| p == ' ') {
+            return &line[..pos];
+        }
+        prev = Some(c);
+    }
+    line
+}
+
+/// Parse the block starting at `lines[start]`, whose items sit at
+/// exactly `indent`. Returns the value and the number of lines consumed
+/// from `start`.
+fn parse_block(
+    lines: &[(usize, usize, String)],
+    start: usize,
+    indent: usize,
+) -> Result<(Value, usize), String> {
+    let (_, _, first) = &lines[start];
+    if first.starts_with("- ") || first == "-" {
+        parse_sequence(lines, start, indent)
+    } else {
+        parse_mapping(lines, start, indent)
+    }
+}
+
+fn parse_sequence(
+    lines: &[(usize, usize, String)],
+    start: usize,
+    indent: usize,
+) -> Result<(Value, usize), String> {
+    let mut items = Vec::new();
+    let mut i = start;
+    while i < lines.len() {
+        let (num, line_indent, content) = &lines[i];
+        if *line_indent < indent {
+            break;
+        }
+        if *line_indent > indent {
+            return Err(format!(
+                "line {num}: unexpected indentation inside a sequence"
+            ));
+        }
+        let Some(rest) = content.strip_prefix('-') else {
+            return Err(format!("line {num}: expected a \"- item\" sequence entry"));
+        };
+        let rest = rest.trim_start();
+        if rest.is_empty() {
+            return Err(format!(
+                "line {num}: nested blocks under \"-\" are outside the supported YAML subset"
+            ));
+        }
+        items.push(parse_scalar(rest, *num)?);
+        i += 1;
+    }
+    Ok((Value::Array(items), i - start))
+}
+
+fn parse_mapping(
+    lines: &[(usize, usize, String)],
+    start: usize,
+    indent: usize,
+) -> Result<(Value, usize), String> {
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    let mut i = start;
+    while i < lines.len() {
+        let (num, line_indent, content) = &lines[i];
+        if *line_indent < indent {
+            break;
+        }
+        if *line_indent > indent {
+            return Err(format!(
+                "line {num}: unexpected indentation (expected a key at column {indent})"
+            ));
+        }
+        let Some(colon) = find_key_colon(content) else {
+            return Err(format!("line {num}: expected \"key: value\""));
+        };
+        let key_raw = content[..colon].trim();
+        let key = match parse_scalar(key_raw, *num)? {
+            Value::Str(s) => s,
+            other => other.to_string(),
+        };
+        let rest = content[colon + 1..].trim();
+        i += 1;
+        let value = if rest.is_empty() {
+            // A nested block must follow, indented deeper.
+            if i < lines.len() && lines[i].1 > indent {
+                let (value, consumed) = parse_block(lines, i, lines[i].1)?;
+                i += consumed;
+                value
+            } else {
+                return Err(format!(
+                    "line {num}: key {key:?} has no value (a nested block must be indented)"
+                ));
+            }
+        } else {
+            parse_scalar(rest, *num)?
+        };
+        entries.push((key, value));
+    }
+    Ok((Value::Object(entries), i - start))
+}
+
+/// Find the colon separating key from value (outside double quotes).
+fn find_key_colon(content: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (pos, c) in content.char_indices() {
+        if in_quotes {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_quotes = false;
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == ':' {
+            // YAML requires a space (or end of line) after the key colon,
+            // which keeps `spdy:20` parseable as a bare scalar value.
+            if content[pos + 1..].is_empty() || content[pos + 1..].starts_with(' ') {
+                return Some(pos);
+            }
+        }
+    }
+    None
+}
+
+fn parse_scalar(token: &str, line: usize) -> Result<Value, String> {
+    let token = token.trim();
+    match token {
+        "null" | "~" => return Ok(Value::Null),
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if token.starts_with('[') {
+        if !token.ends_with(']') {
+            return Err(format!("line {line}: unterminated flow sequence"));
+        }
+        let inner = &token[1..token.len() - 1];
+        let mut items = Vec::new();
+        if !inner.trim().is_empty() {
+            for part in split_flow_items(inner, line)? {
+                let part = part.trim();
+                if part.is_empty() {
+                    return Err(format!("line {line}: empty item in flow sequence"));
+                }
+                if part.starts_with('[') {
+                    return Err(format!(
+                        "line {line}: nested flow sequences are outside the supported YAML subset"
+                    ));
+                }
+                items.push(parse_scalar(part, line)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if token.starts_with('{') {
+        return Err(format!(
+            "line {line}: flow mappings are outside the supported YAML subset (use block form)"
+        ));
+    }
+    if token.starts_with('"') {
+        // Reuse the JSON string grammar (escapes included).
+        return serde_json::from_str(token)
+            .map_err(|e| format!("line {line}: bad quoted string: {e}"));
+    }
+    if token.starts_with('\'') {
+        return Err(format!(
+            "line {line}: single-quoted strings are outside the supported YAML subset (use double quotes)"
+        ));
+    }
+    // JSON number?
+    if token
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
+        if let Ok(v) = serde_json::from_str(token) {
+            return Ok(v);
+        }
+    }
+    Ok(Value::Str(token.to_string()))
+}
+
+/// Split flow-sequence items on top-level commas (quotes respected).
+fn split_flow_items(inner: &str, line: usize) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut item_start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (pos, c) in inner.char_indices() {
+        if in_quotes {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_quotes = false;
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == ',' {
+            items.push(&inner[item_start..pos]);
+            item_start = pos + 1;
+        }
+    }
+    if in_quotes {
+        return Err(format!("line {line}: unterminated string in flow sequence"));
+    }
+    items.push(&inner[item_start..]);
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_manifest_shaped_document() {
+        let text = r#"
+# A quick wifi check.
+schema_version: 1
+name: quick_wifi
+network:
+  kind: wifi
+protocols: [http, spdy]
+workload:
+  kind: synthetic
+  objects: 50
+  object_bytes: 2500
+assertions:
+  - "plt_p50_ms < 9000"
+  - completion_rate >= 1 # trailing comment
+"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v["schema_version"], Value::U64(1));
+        assert_eq!(v["name"], Value::Str("quick_wifi".into()));
+        assert_eq!(v["network"]["kind"], Value::Str("wifi".into()));
+        assert_eq!(
+            v["protocols"],
+            Value::Array(vec![Value::Str("http".into()), Value::Str("spdy".into())])
+        );
+        assert_eq!(v["workload"]["objects"], Value::U64(50));
+        assert_eq!(v["assertions"][0], Value::Str("plt_p50_ms < 9000".into()));
+        assert_eq!(
+            v["assertions"][1],
+            Value::Str("completion_rate >= 1".into())
+        );
+    }
+
+    #[test]
+    fn scalars_cover_json_types() {
+        let v = parse("a: null\nb: ~\nc: true\nd: -3\ne: 2.5\nf: \"x # y\"\ng: spdy:20:late\n")
+            .unwrap();
+        assert_eq!(v["a"], Value::Null);
+        assert_eq!(v["b"], Value::Null);
+        assert_eq!(v["c"], Value::Bool(true));
+        assert_eq!(v["d"], Value::I64(-3));
+        assert_eq!(v["e"], Value::F64(2.5));
+        assert_eq!(v["f"], Value::Str("x # y".into()));
+        assert_eq!(v["g"], Value::Str("spdy:20:late".into()));
+    }
+
+    #[test]
+    fn rejects_out_of_subset_constructs() {
+        for (text, needle) in [
+            ("a: {b: 1}", "flow mappings"),
+            ("a: 'x'", "single-quoted"),
+            ("a:\n  - x\n    y: 1", "indentation"),
+            ("a: [1, [2]]", "nested flow"),
+            ("\ta: 1", "tabs"),
+            ("a:\nb: 1", "no value"),
+            ("just a line", "key: value"),
+            ("", "empty document"),
+        ] {
+            let e = parse(text).unwrap_err();
+            assert!(e.contains(needle), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn nested_blocks_under_dash_are_rejected() {
+        let e = parse("items:\n  -\n    a: 1").unwrap_err();
+        assert!(e.contains("subset"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let v = parse(
+            "# top\n\na: 1\n  # indented comment only counts as content? no: it is stripped\n",
+        )
+        .unwrap();
+        assert_eq!(v["a"], Value::U64(1));
+    }
+}

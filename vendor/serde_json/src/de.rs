@@ -1,0 +1,370 @@
+//! JSON text -> [`Value`] parsing for the serde_json stand-in.
+//!
+//! A recursive-descent parser over the full JSON grammar (RFC 8259):
+//! objects keep their textual key order (the stand-in's `Value::Object`
+//! is an ordered pair list), numbers land in the narrowest fitting
+//! variant (`U64` for non-negative integers, `I64` for negative ones,
+//! `F64` otherwise), and every error carries a `line:column` position.
+//! Duplicate object keys are preserved, matching real serde_json's
+//! `Value` semantics; strict consumers (like the scenario manifest
+//! decoder) reject them at their own layer.
+
+use crate::{Error, Value};
+
+/// Parse a complete JSON document.
+pub fn from_str(s: &str) -> crate::Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+/// Parse a complete JSON document from bytes (must be UTF-8).
+pub fn from_slice(bytes: &[u8]) -> crate::Result<Value> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(s)
+}
+
+/// Nesting ceiling: recursion depth is bounded so adversarial inputs
+/// error out instead of overflowing the stack.
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error(format!("{msg} at line {line} column {col}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str, out: Value) -> crate::Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(out)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> crate::Result<Value> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("JSON nesting too deep"));
+        }
+        let v = match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.expect_word("true", Value::Bool(true)),
+            Some(b'f') => self.expect_word("false", Value::Bool(false)),
+            Some(b'n') => self.expect_word("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        };
+        self.depth -= 1;
+        v
+    }
+
+    fn object(&mut self) -> crate::Result<Value> {
+        self.pos += 1; // '{'
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let v = self.value()?;
+            entries.push((key, v));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Ok(Value::Object(entries));
+            }
+            return Err(self.err("expected ',' or '}' in object"));
+        }
+    }
+
+    fn array(&mut self) -> crate::Result<Value> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            return Err(self.err("expected ',' or ']' in array"));
+        }
+    }
+
+    fn string(&mut self) -> crate::Result<String> {
+        self.pos += 1; // opening '"'
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy runs of plain bytes in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unfinished escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("unpaired surrogate in \\u escape"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate in \\u escape"));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape character")),
+                    }
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> crate::Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("unfinished \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> crate::Result<Value> {
+        let start = self.pos;
+        let negative = self.eat(b'-');
+        // Integer part: '0' alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    return Err(self.err("leading zero in number"));
+                }
+            }
+            Some(d) if d.is_ascii_digit() => {
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit in number")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral {
+            if negative {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::U64(42));
+        assert_eq!(from_str("-7").unwrap(), Value::I64(-7));
+        assert_eq!(from_str("1.5").unwrap(), Value::F64(1.5));
+        assert_eq!(from_str("2e3").unwrap(), Value::F64(2000.0));
+        assert_eq!(from_str(r#""hi""#).unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn objects_keep_textual_order() {
+        let v = from_str(r#"{"z":1,"a":[true,null],"m":{"x":"y"}}"#).unwrap();
+        let Value::Object(entries) = &v else {
+            panic!("not an object")
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+        assert_eq!(v["a"][0], Value::Bool(true));
+        assert_eq!(v["m"]["x"], Value::Str("y".into()));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\ndA""#).unwrap(),
+            Value::Str("a\"b\\c\ndA".into())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            from_str(r#""😀""#).unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn renders_parse_back_bytewise() {
+        let v = from_str(r#"{"a":1,"b":[1.5,-2,"s"],"c":null,"d":{"e":false}}"#).unwrap();
+        let rendered = crate::to_string(&v).unwrap();
+        let reparsed = from_str(&rendered).unwrap();
+        assert_eq!(crate::to_string(&reparsed).unwrap(), rendered);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = from_str("{\n  \"a\": 01\n}").unwrap_err().to_string();
+        assert!(e.contains("line 2"), "{e}");
+        let e = from_str("[1,]").unwrap_err().to_string();
+        assert!(e.contains("column 4"), "{e}");
+        assert!(from_str("").is_err());
+        assert!(from_str("{}extra").is_err());
+        assert!(from_str(r#"{"a" 1}"#).is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).unwrap_err().to_string().contains("deep"));
+    }
+
+    #[test]
+    fn from_slice_checks_utf8() {
+        assert_eq!(from_slice(b"[1]").unwrap(), Value::Array(vec![Value::U64(1)]));
+        assert!(from_slice(&[0xFF, 0xFE]).is_err());
+    }
+}

@@ -1,18 +1,22 @@
 //! Offline vendored stand-in for `serde_json`.
 //!
 //! Backed by the serde stand-in's [`Value`] tree: `to_string` /
-//! `to_string_pretty` render any `serde::Serialize` type, and the
+//! `to_string_pretty` render any `serde::Serialize` type, [`from_str`] /
+//! [`from_slice`] parse JSON text back into a `Value`, and the
 //! [`json!`] macro builds `Value` literals (objects, arrays, scalars, and
 //! embedded `Serialize` expressions). Object key order is insertion order,
 //! so rendering is deterministic. See `vendor/README.md`.
 
+mod de;
+
+pub use de::{from_str, from_slice};
 pub use serde::Value;
 
-/// Serialization error. The stand-in's rendering is infallible, so this
-/// is never actually produced — it exists to keep `Result` signatures
-/// source-compatible with real `serde_json`.
+/// Serialization/deserialization error. Rendering is infallible in the
+/// stand-in, so only the [`from_str`]/[`from_slice`] parsing path ever
+/// produces one; the message carries a `line:column` position.
 #[derive(Debug)]
-pub struct Error(String);
+pub struct Error(pub(crate) String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
