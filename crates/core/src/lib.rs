@@ -46,4 +46,6 @@ pub use driver::{
 pub use export::{export_run, metrics_file, write_to_dir, DataFile, METRICS_SCHEMA_VERSION};
 pub use results::{ConnTraceResult, RunResult, VisitResult};
 pub use spdyier_trace::{FlightLog, TraceLevel};
-pub use waterfall::{waterfall, waterfall_json, Waterfall};
+pub use waterfall::{
+    waterfall, waterfall_json, waterfall_traced, waterfall_traced_json, Waterfall,
+};

@@ -7,11 +7,20 @@
 //! unknown phases). Field names are snake_case — the artifact is
 //! HAR-*style*, built for the repo's own tooling and for eyeballing,
 //! not for strict HAR 1.2 validators.
+//!
+//! Entry order is deterministic: ascending start instant, with
+//! same-instant ties broken by `(visit, conn, stream, object)`. The
+//! conn/stream columns come from the flight log's binding events when a
+//! trace was recorded ([`waterfall_traced`]); without one they stay
+//! absent and the tie-break degrades to `(visit, object)` — still a
+//! total order, so two exports of the same run are byte-identical.
 
 use crate::results::RunResult;
 use serde::Serialize;
 use spdyier_browser::ObjectTiming;
+use spdyier_causal::EventModel;
 use spdyier_sim::SimDuration;
+use spdyier_trace::FlightLog;
 
 /// Top-level waterfall artifact (`{"log": {...}}`).
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -42,6 +51,12 @@ pub struct WaterfallEntry {
     pub site: u32,
     /// Object index within the page.
     pub object: usize,
+    /// Client↔proxy connection that served the fetch, from the flight
+    /// log's binding events (absent without a trace).
+    pub conn: Option<usize>,
+    /// SPDY stream id on that connection (absent for HTTP fetches or
+    /// without a trace).
+    pub stream: Option<u32>,
     /// Start offset from run start, ms (discovery instant).
     pub started_ms: f64,
     /// Total lifetime, ms (`-1.0` when the fetch never completed).
@@ -72,6 +87,8 @@ fn entry(visit: usize, site: u32, object: usize, t: &ObjectTiming) -> WaterfallE
         visit,
         site,
         object,
+        conn: None,
+        stream: None,
         started_ms: t
             .discovered
             .or(t.requested)
@@ -86,27 +103,69 @@ fn entry(visit: usize, site: u32, object: usize, t: &ObjectTiming) -> WaterfallE
     }
 }
 
-/// Build the waterfall for every visit in `result`.
-pub fn waterfall(result: &RunResult) -> Waterfall {
-    let mut entries = Vec::new();
+/// The total entry order: start instant in µs (so ties are exact, not
+/// float-rounded), then `(visit, conn, stream, object)`. Unstarted
+/// entries sort last; unbound conn/stream sort after bound ones at the
+/// same instant.
+type EntryKey = (u64, usize, usize, u64, usize);
+
+fn entry_key(e: &WaterfallEntry, t: &ObjectTiming) -> EntryKey {
+    let start_us = t
+        .discovered
+        .or(t.requested)
+        .map_or(u64::MAX, |at| at.as_micros());
+    (
+        start_us,
+        e.visit,
+        e.conn.unwrap_or(usize::MAX),
+        e.stream.map_or(u64::MAX, u64::from),
+        e.object,
+    )
+}
+
+/// Build the waterfall for every visit in `result`, annotating each
+/// entry with the serving connection (and SPDY stream) when a flight
+/// log is available.
+pub fn waterfall_traced(result: &RunResult, log: Option<&FlightLog>) -> Waterfall {
+    let model = log.map(|l| EventModel::from_records(&l.events));
+    let mut keyed: Vec<(EntryKey, WaterfallEntry)> = Vec::new();
     for (visit, v) in result.visits.iter().enumerate() {
         for (object, t) in v.object_timings.iter().enumerate() {
-            entries.push(entry(visit, v.site, object, t));
+            let mut e = entry(visit, v.site, object, t);
+            if let Some(b) = model.as_ref().and_then(|m| m.binding(visit, object as u32)) {
+                e.conn = Some(b.conn);
+                e.stream = b.stream;
+            }
+            keyed.push((entry_key(&e, t), e));
         }
     }
+    // (visit, object) makes every key unique, so the order is total.
+    keyed.sort_by_key(|e| e.0);
     Waterfall {
         log: WaterfallLog {
             version: "1.2".to_string(),
             creator: "spdyier flight recorder".to_string(),
             protocol: result.protocol.clone(),
-            entries,
+            entries: keyed.into_iter().map(|(_, e)| e).collect(),
         },
     }
 }
 
+/// Build the waterfall for every visit in `result` (no trace: the
+/// conn/stream columns stay absent).
+pub fn waterfall(result: &RunResult) -> Waterfall {
+    waterfall_traced(result, None)
+}
+
+/// The traced waterfall as pretty-printed JSON.
+pub fn waterfall_traced_json(result: &RunResult, log: Option<&FlightLog>) -> String {
+    serde_json::to_string_pretty(&waterfall_traced(result, log))
+        .expect("waterfall always serializes")
+}
+
 /// The waterfall as pretty-printed JSON.
 pub fn waterfall_json(result: &RunResult) -> String {
-    serde_json::to_string_pretty(&waterfall(result)).expect("waterfall always serializes")
+    waterfall_traced_json(result, None)
 }
 
 #[cfg(test)]
@@ -137,6 +196,70 @@ mod tests {
         assert!(!w.log.entries.is_empty());
         let done = w.log.entries.iter().filter(|e| e.time_ms >= 0.0).count();
         assert!(done > 0, "completed objects have a total time");
+    }
+
+    #[test]
+    fn traced_entries_order_deterministically_with_conn_stream_tie_break() {
+        use crate::driver::run_experiment_traced;
+        use spdyier_trace::TraceLevel;
+        let (r, log) = run_experiment_traced(
+            ExperimentConfig::paper_3g(ProtocolMode::spdy(), 3)
+                .with_network(NetworkKind::Wifi)
+                .with_trace_level(TraceLevel::Full)
+                .with_schedule(VisitSchedule::sequential(
+                    vec![9],
+                    SimDuration::from_secs(60),
+                )),
+        );
+        let w = waterfall_traced(&r, Some(&log));
+        assert_eq!(
+            w.log.entries.len(),
+            r.visits
+                .iter()
+                .map(|v| v.object_timings.len())
+                .sum::<usize>()
+        );
+        // SPDY multiplexes one connection: fetched entries carry its id
+        // and a stream.
+        assert!(w
+            .log
+            .entries
+            .iter()
+            .any(|e| e.conn.is_some() && e.stream.is_some()));
+        // The golden property: the emitted order IS the documented total
+        // order — ascending (start, visit, conn, stream, object) — so
+        // same-instant entries cannot flap between exports.
+        let keys: Vec<_> = w
+            .log
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    // started_ms is µs-derived, so the float is exact.
+                    (e.started_ms.max(0.0) * 1e3).round() as u64,
+                    e.visit,
+                    e.conn.unwrap_or(usize::MAX),
+                    e.stream.map_or(u64::MAX, u64::from),
+                    e.object,
+                )
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "entries leave the exporter pre-sorted");
+        // And the tie-break actually engages: HTML parse bursts discover
+        // several objects at the same instant.
+        let starts: Vec<u64> = keys.iter().map(|k| k.0).collect();
+        let tied = starts.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(
+            tied > 0,
+            "expected same-instant discoveries in a parse burst"
+        );
+        // Two exports of the same run are byte-identical.
+        assert_eq!(
+            waterfall_traced_json(&r, Some(&log)),
+            waterfall_traced_json(&r, Some(&log))
+        );
     }
 
     #[test]

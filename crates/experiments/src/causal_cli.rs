@@ -1,0 +1,285 @@
+//! Back-ends for `experiments explain` and `experiments diff`.
+//!
+//! Both entry points are pure: they return the artifacts to write plus a
+//! one-line summary, and an `Err(String)` the binary reports as a config
+//! error (exit 3). Inputs are either raw `trace_*.jsonl` dumps (as
+//! written by `experiments trace` / scenario trace artifacts) or a
+//! scenario manifest, which is re-run at `Full` trace level on the
+//! deterministic executor — so `explain`/`diff` outputs are
+//! byte-identical at any `SPDYIER_JOBS` width.
+//!
+//! Lossy traces are refused outright: if the recorder's ring dropped
+//! events (`trace.sink_dropped > 0`), the causal engine's conservation
+//! guarantee (edge durations sum to PLT) is void, and a refusal beats a
+//! silently-wrong attribution. For raw dumps the drop count comes from
+//! the `metrics_<label>.json` sidecar next to the trace, when present.
+
+use crate::exec::Executor;
+use crate::scenario_run::{execute_on, ScenarioRun};
+use spdyier_causal::CriticalPath;
+use spdyier_causal::{critical_paths_from_records, diff_paths, explain_json, explain_text};
+use spdyier_core::{DataFile, TraceLevel};
+use spdyier_scenario::{Cell, Manifest};
+use spdyier_trace::FlightLog;
+use std::path::Path;
+
+/// What an `explain`/`diff` invocation produced: files for the caller to
+/// write and a one-line summary for it to print.
+#[derive(Debug)]
+pub struct CausalOutcome {
+    /// Artifacts, in write order.
+    pub files: Vec<DataFile>,
+    /// One-line human summary.
+    pub summary: String,
+}
+
+/// Whether `path` names a raw trace dump rather than a manifest.
+pub fn is_trace_file(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "jsonl")
+}
+
+/// Artifact label for a raw dump: `trace_spdy.jsonl` → `spdy`.
+fn trace_label(path: &Path) -> String {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    stem.strip_prefix("trace_").unwrap_or(stem).to_string()
+}
+
+/// The sink drop count recorded in the `metrics_<label>.json` sidecar
+/// next to a raw dump, when one exists.
+fn sidecar_dropped(path: &Path, label: &str) -> Option<u64> {
+    let sidecar = path.with_file_name(format!("metrics_{label}.json"));
+    let text = std::fs::read_to_string(sidecar).ok()?;
+    let doc = serde_json::from_str(&text).ok()?;
+    doc.get("metrics")?
+        .get("counters")?
+        .get("trace.sink_dropped")?
+        .as_u64()
+}
+
+fn lossy_error(what: &str, dropped: u64) -> String {
+    format!(
+        "{what}: lossy trace ({dropped} event(s) dropped by the recorder ring); \
+         critical-path conservation would be unsound — re-record with a larger \
+         sink before explaining or diffing"
+    )
+}
+
+fn refuse_lossy_log(label: &str, log: &FlightLog) -> Result<(), String> {
+    if log.dropped > 0 {
+        return Err(lossy_error(label, log.dropped));
+    }
+    Ok(())
+}
+
+/// Load one raw dump: refuse lossy sidecars, parse strictly, extract
+/// per-visit critical paths.
+fn load_trace_paths(path: &Path) -> Result<(String, Vec<CriticalPath>), String> {
+    let label = trace_label(path);
+    if let Some(dropped) = sidecar_dropped(path, &label) {
+        if dropped > 0 {
+            return Err(lossy_error(&path.display().to_string(), dropped));
+        }
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let records =
+        spdyier_causal::parse_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((label, critical_paths_from_records(&records)))
+}
+
+/// Whether `filter` (dot-joined terms) selects `cell`, mirroring the
+/// assertion DSL's cell filters: protocol compact name, variant name, or
+/// `seed<N>`, all case-insensitive.
+fn cell_matches(cell: &Cell, filter: &str) -> bool {
+    filter.split('.').all(|f| {
+        let f = f.to_ascii_lowercase();
+        f == cell.protocol.compact().to_ascii_lowercase()
+            || (!cell.variant.is_empty() && f == cell.variant.to_ascii_lowercase())
+            || f == format!("seed{}", cell.seed)
+    })
+}
+
+/// Decode `manifest_path` and execute every cell at `Full` trace level
+/// (critical paths need per-segment records) on the deterministic
+/// executor.
+fn run_manifest_traced(manifest_path: &Path) -> Result<(Manifest, ScenarioRun), String> {
+    let mut manifest = Manifest::from_file(manifest_path)
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+    manifest.trace = TraceLevel::Full;
+    let run = execute_on(&Executor::from_env(), &manifest);
+    if let Some((i, e)) = &run.limit_error {
+        let cell = &run.cells[*i];
+        return Err(format!(
+            "cell {i} ({} seed {}): {e}",
+            cell.protocol.compact(),
+            cell.seed
+        ));
+    }
+    Ok((manifest, run))
+}
+
+/// Critical paths for every cell of an executed manifest that matches
+/// `filter` (all cells when absent), labeled by artifact label.
+fn manifest_paths(
+    manifest: &Manifest,
+    run: &ScenarioRun,
+    filter: Option<&str>,
+) -> Result<Vec<(String, Vec<CriticalPath>)>, String> {
+    let mut labeled = Vec::new();
+    for (cell, result) in run.cells.iter().zip(&run.results) {
+        if let Some(f) = filter {
+            if !cell_matches(cell, f) {
+                continue;
+            }
+        }
+        let Some((_, Some(log))) = result.as_ref() else {
+            continue;
+        };
+        let label = cell.artifact_label(manifest);
+        refuse_lossy_log(&label, log)?;
+        labeled.push((label, critical_paths_from_records(&log.events)));
+    }
+    if labeled.is_empty() {
+        return Err(format!(
+            "no cells match filter {:?} (cells: {})",
+            filter.unwrap_or("<none>"),
+            run.cells
+                .iter()
+                .map(|c| c.artifact_label(manifest))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    Ok(labeled)
+}
+
+/// `experiments explain <trace.jsonl|MANIFEST> [--cell FILTER]`:
+/// per-visit critical-path extraction, one `explain_<label>.json` (+
+/// `.txt` rendering) per selected cell.
+pub fn explain(input: &Path, cell_filter: Option<&str>) -> Result<CausalOutcome, String> {
+    let labeled = if is_trace_file(input) {
+        vec![load_trace_paths(input)?]
+    } else {
+        let (manifest, run) = run_manifest_traced(input)?;
+        manifest_paths(&manifest, &run, cell_filter)?
+    };
+    let mut files = Vec::new();
+    let mut visits = 0usize;
+    for (label, paths) in &labeled {
+        visits += paths.len();
+        files.push(DataFile {
+            name: format!("explain_{label}.json"),
+            contents: explain_json(label, paths),
+        });
+        files.push(DataFile {
+            name: format!("explain_{label}.txt"),
+            contents: explain_text(label, paths),
+        });
+    }
+    let summary = format!(
+        "explained {} cell(s), {} visit(s); every critical path's edges sum to its PLT",
+        labeled.len(),
+        visits
+    );
+    Ok(CausalOutcome { files, summary })
+}
+
+/// One side of a diff: either a raw dump path, or a manifest cell
+/// filter resolved against a shared manifest run.
+enum Side<'a> {
+    File(&'a Path),
+    Cell(&'a str),
+}
+
+fn side_paths(
+    side: &Side<'_>,
+    shared: Option<&(Manifest, ScenarioRun)>,
+) -> Result<(String, Vec<CriticalPath>), String> {
+    match side {
+        Side::File(path) => load_trace_paths(path),
+        Side::Cell(filter) => {
+            let (manifest, run) = shared.expect("manifest run resolved before sides");
+            let mut matched = manifest_paths(manifest, run, Some(filter))?;
+            if matched.len() > 1 {
+                return Err(format!(
+                    "filter {:?} matches {} cells ({}); add a seed<N> or variant term so \
+                     exactly one run is diffed",
+                    filter,
+                    matched.len(),
+                    matched
+                        .iter()
+                        .map(|(l, _)| l.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            Ok(matched.remove(0))
+        }
+    }
+}
+
+/// `experiments diff <a.jsonl> <b.jsonl>` or
+/// `experiments diff <MANIFEST> --a FILTER --b FILTER`: align two runs of
+/// the same workload by visit identity and attribute the PLT delta
+/// edge-by-edge into `diff.json` + `diff.txt`.
+pub fn diff(
+    a_file: Option<&Path>,
+    b_file: Option<&Path>,
+    manifest_path: Option<&Path>,
+    a_filter: Option<&str>,
+    b_filter: Option<&str>,
+) -> Result<CausalOutcome, String> {
+    let (a_side, b_side) = match (a_file, b_file, manifest_path, a_filter, b_filter) {
+        (Some(a), Some(b), None, None, None) => (Side::File(a), Side::File(b)),
+        (None, None, Some(_), Some(a), Some(b)) => (Side::Cell(a), Side::Cell(b)),
+        _ => {
+            return Err("usage: experiments diff <a.jsonl> <b.jsonl> [--out DIR]\n\
+                 |      experiments diff <MANIFEST> --a FILTER --b FILTER [--out DIR]"
+                .into())
+        }
+    };
+    let shared = match manifest_path {
+        Some(p) => Some(run_manifest_traced(p)?),
+        None => None,
+    };
+    let (a_label, a_paths) = side_paths(&a_side, shared.as_ref())?;
+    let (b_label, b_paths) = side_paths(&b_side, shared.as_ref())?;
+    let report = diff_paths(&a_label, &a_paths, &b_label, &b_paths);
+    let summary = format!(
+        "diff {} -> {}: {} aligned visit(s), total delta {:+.1} ms, dominant edge {}",
+        report.a_label,
+        report.b_label,
+        report.visits.len(),
+        report.plt_delta_us() as f64 / 1e3,
+        report.dominant_edge().name()
+    );
+    let files = vec![
+        DataFile {
+            name: "diff.json".into(),
+            contents: report.to_json(),
+        },
+        DataFile {
+            name: "diff.txt".into(),
+            contents: report.to_text(),
+        },
+    ];
+    Ok(CausalOutcome { files, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_labels_strip_the_prefix() {
+        assert_eq!(trace_label(Path::new("/x/trace_spdy.jsonl")), "spdy");
+        assert_eq!(trace_label(Path::new("dump.jsonl")), "dump");
+        assert!(is_trace_file(Path::new("a/trace_http.jsonl")));
+        assert!(!is_trace_file(Path::new("scenarios/paired_3g.json")));
+    }
+
+    #[test]
+    fn diff_rejects_mixed_input_shapes() {
+        let e = diff(Some(Path::new("a.jsonl")), None, None, None, None).unwrap_err();
+        assert!(e.contains("usage"), "{e}");
+    }
+}

@@ -10,6 +10,7 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod ascii;
+pub mod causal_cli;
 pub mod exec;
 pub mod extensions;
 pub mod mitigations;
@@ -28,6 +29,7 @@ use spdyier_core::{
 };
 use spdyier_workload::VisitSchedule;
 
+pub use causal_cli::{diff as causal_diff, explain as causal_explain, CausalOutcome};
 pub use exec::Executor;
 pub use profiling::{paired_cells, profiled_cells_on, ProfiledSweep};
 pub use scenario_run::{run_manifest, run_manifest_on, ScenarioOutcome, ScenarioRun};

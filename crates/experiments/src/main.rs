@@ -5,6 +5,9 @@
 //! experiments run <MANIFEST.(json|yaml)> [--out DIR] [--seeds N]
 //! experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]
 //! experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]
+//! experiments explain <trace.jsonl|MANIFEST> [--cell FILTER] [--out DIR]
+//! experiments diff <a.jsonl> <b.jsonl> [--out DIR]
+//! experiments diff <MANIFEST> --a FILTER --b FILTER [--out DIR]
 //! ```
 //!
 //! The `run` form executes a declarative scenario manifest (JSON, or the
@@ -30,6 +33,14 @@
 //! The `paired` form is likewise a pre-baked paired-sweep manifest: one
 //! `RunResult` JSON line per run (HTTP then SPDY per seed), plus a
 //! `.meta.json` schema sidecar next to the dump.
+//!
+//! The `explain` form extracts each visit's causal critical path from a
+//! recorded trace (or re-runs a manifest's cells at `Full` trace level)
+//! and writes `explain_<label>.json` / `.txt` — every path's edge
+//! durations sum to the visit's PLT by construction. The `diff` form
+//! aligns two runs of the same workload by visit identity and
+//! attributes the PLT delta edge-by-edge into `diff.json` / `diff.txt`.
+//! Both refuse lossy traces (recorder drops) with exit 3.
 //!
 //! The `profile` form turns the host-side self-profiler on and runs one
 //! or more schedules (`--seeds N`, fanned across `SPDYIER_JOBS`
@@ -307,6 +318,93 @@ fn run_paired(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// Parse the value following `--flag NAME` as a string; absent flag
+/// yields `None`, present-but-valueless names the flag and exits 3.
+fn parse_flag_str(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => config_error(&format!("{flag}: expected a value after the flag")),
+    }
+}
+
+/// Write a causal outcome's artifacts and print the summary.
+fn write_causal_outcome(outcome: spdyier_experiments::CausalOutcome, out_dir: &str) -> ! {
+    match write_to_dir(&outcome.files, std::path::Path::new(out_dir)) {
+        Ok(paths) => {
+            for p in &paths {
+                println!("wrote {}", p.display());
+            }
+            println!("{}", outcome.summary);
+            std::process::exit(0);
+        }
+        Err(e) => config_error(&format!("--out {out_dir:?}: {e}")),
+    }
+}
+
+/// `experiments explain <trace.jsonl|MANIFEST> [--cell FILTER] [--out DIR]`.
+fn run_explain(args: &[String]) -> ! {
+    let positional: Vec<&String> = positional_args(args, &["--cell", "--out"]);
+    let [input] = positional[..] else {
+        config_error(
+            "usage: experiments explain <trace.jsonl|MANIFEST> [--cell FILTER] [--out DIR]",
+        );
+    };
+    let cell = parse_flag_str(args, "--cell");
+    let out = parse_flag_str(args, "--out").unwrap_or_else(|| "results/explain".into());
+    match spdyier_experiments::causal_explain(std::path::Path::new(input), cell.as_deref()) {
+        Ok(outcome) => write_causal_outcome(outcome, &out),
+        Err(e) => config_error(&format!("experiments explain: {e}")),
+    }
+}
+
+/// `experiments diff <a.jsonl> <b.jsonl> | <MANIFEST> --a F --b F [--out DIR]`.
+fn run_diff(args: &[String]) -> ! {
+    let positional = positional_args(args, &["--a", "--b", "--out"]);
+    let a_filter = parse_flag_str(args, "--a");
+    let b_filter = parse_flag_str(args, "--b");
+    let out = parse_flag_str(args, "--out").unwrap_or_else(|| "results/diff".into());
+    let result = match (&positional[..], &a_filter, &b_filter) {
+        ([a, b], None, None) => spdyier_experiments::causal_diff(
+            Some(std::path::Path::new(a.as_str())),
+            Some(std::path::Path::new(b.as_str())),
+            None,
+            None,
+            None,
+        ),
+        ([manifest], Some(a), Some(b)) => spdyier_experiments::causal_diff(
+            None,
+            None,
+            Some(std::path::Path::new(manifest.as_str())),
+            Some(a),
+            Some(b),
+        ),
+        _ => config_error(
+            "usage: experiments diff <a.jsonl> <b.jsonl> [--out DIR]\n\
+             |      experiments diff <MANIFEST> --a FILTER --b FILTER [--out DIR]",
+        ),
+    };
+    match result {
+        Ok(outcome) => write_causal_outcome(outcome, &out),
+        Err(e) => config_error(&format!("experiments diff: {e}")),
+    }
+}
+
+/// The arguments that are not flags (or flag values) from `flags`.
+fn positional_args<'a>(args: &'a [String], flags: &[&str]) -> Vec<&'a String> {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if flags.contains(&args[i].as_str()) {
+            i += 2;
+            continue;
+        }
+        positional.push(&args[i]);
+        i += 1;
+    }
+    positional
+}
+
 /// `experiments run <MANIFEST> [--out DIR] [--seeds N]`: the scenario
 /// runner front-end.
 fn run_scenario(args: &[String]) -> ! {
@@ -373,6 +471,9 @@ fn main() {
         eprintln!("       experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments paired <3g|lte|wifi|3g-pinned> <FILE> [--seeds N]");
+        eprintln!("       experiments explain <trace.jsonl|MANIFEST> [--cell FILTER] [--out DIR]");
+        eprintln!("       experiments diff <a.jsonl> <b.jsonl> [--out DIR]");
+        eprintln!("       experiments diff <MANIFEST> --a FILTER --b FILTER [--out DIR]");
         eprintln!(
             "       experiments profile <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N] [--seeds N]"
         );
@@ -393,6 +494,12 @@ fn main() {
     }
     if args[0] == "paired" {
         run_paired(&args[1..]);
+    }
+    if args[0] == "explain" {
+        run_explain(&args[1..]);
+    }
+    if args[0] == "diff" {
+        run_diff(&args[1..]);
     }
     let mut opts = ExpOpts::default();
     let mut json_dir: Option<String> = None;

@@ -14,8 +14,8 @@ use crate::exec::Executor;
 use serde::{Serialize, Value};
 use spdyier_core::{
     attribute_stalls, junit_xml, metrics_file, paired_meta_file, stall_file, stall_manifest_file,
-    waterfall_json, AssertionVerdict, DataFile, FlightLog, RunError, RunResult, ScenarioExit,
-    TraceLevel, VerdictStatus,
+    waterfall_traced_json, AssertionVerdict, DataFile, FlightLog, RunError, RunResult,
+    ScenarioExit, TraceLevel, VerdictStatus,
 };
 use spdyier_scenario::{evaluate, Cell, CellMetrics, Manifest};
 use std::path::{Path, PathBuf};
@@ -187,7 +187,7 @@ fn trace_artifacts(manifest: &Manifest, run: &ScenarioRun) -> Vec<DataFile> {
         });
         files.push(DataFile {
             name: format!("waterfall_{label}.har.json"),
-            contents: waterfall_json(result),
+            contents: waterfall_traced_json(result, Some(log)),
         });
         files.push(stall_manifest_file(&stalls));
         files.push(stalls);

@@ -19,7 +19,7 @@
 //! network other than the manifest's, the verdict is `skipped` — letting
 //! one assertion list serve a family of per-network manifests.
 
-use spdyier_core::NetworkSpec;
+use spdyier_core::{NetworkSpec, TraceLevel};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +91,7 @@ pub struct Assertion {
 
 /// Every metric name the evaluator computes from pooled cells, besides
 /// the `counter.<name>` passthrough.
-pub const KNOWN_METRICS: [&str; 23] = [
+pub const KNOWN_METRICS: [&str; 34] = [
     "plt_p50_ms",
     "plt_p90_ms",
     "plt_p95_ms",
@@ -115,6 +115,17 @@ pub const KNOWN_METRICS: [&str; 23] = [
     "promotions",
     "energy_mj",
     "total_bytes",
+    "critical_parse_ms",
+    "critical_conn_setup_ms",
+    "critical_promotion_ms",
+    "critical_rto_stall_ms",
+    "critical_rto_per_event_ms",
+    "critical_serialization_ms",
+    "critical_queueing_ms",
+    "critical_think_ms",
+    "critical_wait_ms",
+    "critical_receive_ms",
+    "trace_dropped",
 ];
 
 /// The metrics that need per-visit stall attribution (and therefore at
@@ -127,6 +138,22 @@ pub const STALL_METRICS: [&str; 7] = [
     "rto_stall_per_event_ms",
     "think_stall_ms",
     "other_stall_ms",
+];
+
+/// The per-critical-path-edge pooled metrics (mean ms per visit over the
+/// visits on the pooled cells' critical paths), in the causal engine's
+/// canonical edge order. They need `Full`-level flight recording: the
+/// serialization / queueing edges come from per-segment records.
+pub const CRITICAL_METRICS: [&str; 9] = [
+    "critical_parse_ms",
+    "critical_conn_setup_ms",
+    "critical_promotion_ms",
+    "critical_rto_stall_ms",
+    "critical_serialization_ms",
+    "critical_queueing_ms",
+    "critical_think_ms",
+    "critical_wait_ms",
+    "critical_receive_ms",
 ];
 
 impl MetricRef {
@@ -165,6 +192,23 @@ impl MetricRef {
     /// Whether this reference needs stall attribution.
     pub fn needs_stall_metrics(&self) -> bool {
         STALL_METRICS.contains(&self.metric.as_str())
+    }
+
+    /// The minimum flight-recorder level this reference needs to be
+    /// computable: critical-path metrics need `Full` (per-segment
+    /// records), stall metrics need `Transport`, `trace_dropped` and
+    /// `counter.*` need the recorder merely on (`Lifecycle`).
+    pub fn required_trace(&self) -> TraceLevel {
+        let m = self.metric.as_str();
+        if CRITICAL_METRICS.contains(&m) || m == "critical_rto_per_event_ms" {
+            TraceLevel::Full
+        } else if STALL_METRICS.contains(&m) {
+            TraceLevel::Transport
+        } else if m == "trace_dropped" || m.starts_with("counter.") {
+            TraceLevel::Lifecycle
+        } else {
+            TraceLevel::Off
+        }
     }
 }
 
@@ -243,6 +287,16 @@ impl Assertion {
             .filter_map(Operand::metric)
             .any(MetricRef::needs_stall_metrics)
     }
+
+    /// The minimum flight-recorder level either side needs.
+    pub fn required_trace(&self) -> TraceLevel {
+        [&self.lhs, &self.rhs]
+            .into_iter()
+            .filter_map(Operand::metric)
+            .map(MetricRef::required_trace)
+            .max()
+            .unwrap_or(TraceLevel::Off)
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +348,23 @@ mod tests {
             let e = Assertion::parse(expr).unwrap_err();
             assert!(e.contains(needle), "{expr:?}: {e}");
         }
+    }
+
+    #[test]
+    fn critical_metrics_demand_full_tracing() {
+        let a = Assertion::parse("spdy.critical_rto_stall_ms > http.critical_rto_stall_ms on 3g")
+            .unwrap();
+        assert_eq!(a.required_trace(), TraceLevel::Full);
+        assert!(!a.needs_stall_metrics());
+
+        let a = Assertion::parse("spdy.rto_stall_ms > 1").unwrap();
+        assert_eq!(a.required_trace(), TraceLevel::Transport);
+
+        let a = Assertion::parse("trace_dropped <= 0").unwrap();
+        assert_eq!(a.required_trace(), TraceLevel::Lifecycle);
+
+        let a = Assertion::parse("plt_p50_ms < 9000").unwrap();
+        assert_eq!(a.required_trace(), TraceLevel::Off);
     }
 
     #[test]

@@ -1036,16 +1036,19 @@ impl Manifest {
     }
 
     /// The trace level the runner actually uses: the declared level,
-    /// raised to `Transport` when any assertion needs stall attribution
-    /// (the flight recorder is passive, so raising it never perturbs the
-    /// simulation — the determinism suite pins that).
+    /// raised to whatever the assertions demand — `Transport` for stall
+    /// attribution, `Full` for critical-path metrics, `Lifecycle` for
+    /// `trace_dropped` / counter passthroughs (the flight recorder is
+    /// passive, so raising it never perturbs the simulation — the
+    /// determinism suite pins that).
     pub fn effective_trace(&self) -> TraceLevel {
-        let needs_stalls = self.assertions.iter().any(|a| a.needs_stall_metrics());
-        if needs_stalls && self.trace < TraceLevel::Transport {
-            TraceLevel::Transport
-        } else {
-            self.trace
-        }
+        let needed = self
+            .assertions
+            .iter()
+            .map(|a| a.required_trace())
+            .max()
+            .unwrap_or(TraceLevel::Off);
+        self.trace.max(needed)
     }
 
     /// Render the manifest back to its canonical `Value` tree
@@ -1510,6 +1513,32 @@ mod tests {
         assert_eq!(m.effective_trace(), TraceLevel::Transport);
         let cfg = m.cells()[0].build_config(&m);
         assert_eq!(cfg.trace_level, TraceLevel::Transport);
+    }
+
+    #[test]
+    fn critical_path_assertions_raise_trace_level_to_full() {
+        let text = r#"{
+            "schema_version": 1,
+            "name": "critical",
+            "network": { "kind": "3g" },
+            "protocols": ["http", "spdy"],
+            "assertions": [
+                "spdy.critical_rto_stall_ms > http.critical_rto_stall_ms on 3g"
+            ]
+        }"#;
+        let m = Manifest::from_json(text).unwrap();
+        assert_eq!(m.trace, TraceLevel::Off);
+        assert_eq!(m.effective_trace(), TraceLevel::Full);
+
+        let text = r#"{
+            "schema_version": 1,
+            "name": "lossless",
+            "network": { "kind": "wifi" },
+            "protocols": ["http"],
+            "assertions": ["trace_dropped <= 0"]
+        }"#;
+        let m = Manifest::from_json(text).unwrap();
+        assert_eq!(m.effective_trace(), TraceLevel::Lifecycle);
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! with three seeds is the mean over every SPDY visit of all three runs,
 //! not a mean of means.
 
-use crate::assertions::{Assertion, Operand};
+use crate::assertions::{Assertion, Operand, CRITICAL_METRICS};
 use crate::manifest::{Cell, Manifest};
 use serde::Value;
+use spdyier_causal::critical_paths_from_records;
 use spdyier_core::{attribute_stalls, AssertionVerdict, FlightLog, RunResult, VerdictStatus};
 use spdyier_sim::stats::{mean, percentile};
 use std::collections::BTreeMap;
@@ -35,6 +36,13 @@ pub struct CellMetrics {
     /// Visits with a stall attribution (0 when tracing was below
     /// `Transport`).
     pub stall_visits: u64,
+    /// Critical-path edge sums in µs over extracted visits, in the
+    /// causal engine's canonical [`spdyier_causal::EDGE_KINDS`] order:
+    /// [parse, conn_setup, promotion, rto, serialization, queueing,
+    /// think, wait, receive].
+    pub critical_sums_us: [u64; 9],
+    /// Visits with an extracted critical path (0 when tracing was off).
+    pub critical_visits: u64,
     /// Aggregate TCP retransmissions.
     pub retransmissions: u64,
     /// Aggregate RTO firings.
@@ -82,6 +90,12 @@ impl CellMetrics {
                 m.stall_sums_us[5] += b.other_us;
                 m.stall_visits += 1;
             }
+            for p in critical_paths_from_records(&log.events) {
+                for (sum, add) in m.critical_sums_us.iter_mut().zip(p.sums_us()) {
+                    *sum += add;
+                }
+                m.critical_visits += 1;
+            }
             for (name, count) in log.metrics.counters() {
                 *m.counters.entry(name.to_string()).or_insert(0) += count;
             }
@@ -106,6 +120,10 @@ impl CellMetrics {
             *sum += add;
         }
         self.stall_visits += other.stall_visits;
+        for (sum, add) in self.critical_sums_us.iter_mut().zip(other.critical_sums_us) {
+            *sum += add;
+        }
+        self.critical_visits += other.critical_visits;
         self.retransmissions += other.retransmissions;
         self.timeouts += other.timeouts;
         self.idle_restarts += other.idle_restarts;
@@ -127,10 +145,22 @@ impl CellMetrics {
         Ok(self.stall_sums_us[category] as f64 / 1_000.0 / self.stall_visits as f64)
     }
 
+    fn critical_mean_ms(&self, edge: usize) -> Result<f64, String> {
+        if self.critical_visits == 0 {
+            return Err(
+                "no critical-path samples (critical metrics need full-level tracing)".into(),
+            );
+        }
+        Ok(self.critical_sums_us[edge] as f64 / 1_000.0 / self.critical_visits as f64)
+    }
+
     /// Compute a named metric over this (possibly pooled) accumulator.
     pub fn metric(&self, name: &str) -> Result<f64, String> {
         if let Some(counter) = name.strip_prefix("counter.") {
             return Ok(self.counters.get(counter).copied().unwrap_or(0) as f64);
+        }
+        if let Some(edge) = CRITICAL_METRICS.iter().position(|m| *m == name) {
+            return self.critical_mean_ms(edge);
         }
         Ok(match name {
             "plt_p50_ms" => percentile(&self.plts_ms, 50.0),
@@ -170,6 +200,20 @@ impl CellMetrics {
             }
             "think_stall_ms" => self.stall_mean_ms(4)?,
             "other_stall_ms" => self.stall_mean_ms(5)?,
+            // The same normalization on the causal engine's critical
+            // path: RTO recovery that actually delayed PLT, per firing.
+            "critical_rto_per_event_ms" => {
+                if self.critical_visits == 0 {
+                    return Err(
+                        "no critical-path samples (critical metrics need full-level tracing)"
+                            .into(),
+                    );
+                }
+                if self.timeouts == 0 {
+                    return Err("no RTO firings in the selected cells".into());
+                }
+                self.critical_sums_us[3] as f64 / 1_000.0 / self.timeouts as f64
+            }
             "retransmissions" => self.retransmissions as f64,
             "timeouts" => self.timeouts as f64,
             "idle_restarts" => self.idle_restarts as f64,
@@ -177,6 +221,13 @@ impl CellMetrics {
             "promotions" => self.promotions as f64,
             "energy_mj" => self.energy_mj,
             "total_bytes" => self.total_bytes as f64,
+            // Trace-sink losses: any drop voids conservation guarantees,
+            // so scenarios can pin this to zero.
+            "trace_dropped" => self
+                .counters
+                .get("trace.sink_dropped")
+                .copied()
+                .unwrap_or(0) as f64,
             other => return Err(format!("unknown metric {other:?}")),
         })
     }
@@ -221,6 +272,13 @@ impl CellMetrics {
                 let value =
                     self.stall_sums_us[category] as f64 / 1_000.0 / self.stall_visits as f64;
                 entries.push((name.into(), Value::F64(value)));
+            }
+        }
+        if self.critical_visits > 0 {
+            for (edge, name) in CRITICAL_METRICS.iter().enumerate() {
+                let value =
+                    self.critical_sums_us[edge] as f64 / 1_000.0 / self.critical_visits as f64;
+                entries.push(((*name).into(), Value::F64(value)));
             }
         }
         Value::Object(entries)
@@ -429,7 +487,9 @@ mod tests {
 
     #[test]
     fn summary_value_has_the_pinned_keys() {
-        let c = cell("http", 0, &[100.0], 2_000);
+        let mut c = cell("http", 0, &[100.0], 2_000);
+        c.critical_sums_us = [50_000, 0, 10_000, 30_000, 5_000, 2_000, 1_000, 1_500, 500];
+        c.critical_visits = 1;
         let Value::Object(entries) = c.summary_value() else {
             panic!("summary is an object");
         };
@@ -457,7 +517,53 @@ mod tests {
                 "rto_stall_ms",
                 "think_stall_ms",
                 "other_stall_ms",
+                "critical_parse_ms",
+                "critical_conn_setup_ms",
+                "critical_promotion_ms",
+                "critical_rto_stall_ms",
+                "critical_serialization_ms",
+                "critical_queueing_ms",
+                "critical_think_ms",
+                "critical_wait_ms",
+                "critical_receive_ms",
             ]
         );
+        // Without critical-path samples the critical_* keys stay absent so
+        // lifecycle-level runs keep the legacy schema.
+        let c = cell("http", 0, &[100.0], 2_000);
+        let Value::Object(entries) = c.summary_value() else {
+            panic!("summary is an object");
+        };
+        assert!(entries.iter().all(|(k, _)| !k.starts_with("critical_")));
+    }
+
+    #[test]
+    fn critical_metrics_pool_like_stall_metrics() {
+        let mut a = cell("spdy", 0, &[100.0], 0);
+        a.critical_sums_us[3] = 4_000;
+        a.critical_visits = 1;
+        let mut b = cell("spdy", 1, &[200.0], 0);
+        b.critical_sums_us[3] = 2_000;
+        b.critical_visits = 2;
+        // Pooled mean over 3 visits: (4000+2000)/1000/3 = 2.0 ms.
+        assert_eq!(
+            eval_metric(&[a, b], &["spdy".to_string()], "critical_rto_stall_ms").unwrap(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn critical_metrics_without_samples_fail_with_reason() {
+        let c = cell("http", 0, &[100.0], 0);
+        let e = c.metric("critical_parse_ms").unwrap_err();
+        assert!(e.contains("full-level tracing"), "{e}");
+    }
+
+    #[test]
+    fn trace_dropped_reads_the_sink_counter() {
+        let mut c = cell("http", 0, &[100.0], 0);
+        assert_eq!(c.metric("trace_dropped").unwrap(), 0.0);
+        c.counters.insert("trace.sink_dropped".into(), 7);
+        assert_eq!(c.metric("trace_dropped").unwrap(), 7.0);
     }
 }

@@ -27,6 +27,7 @@
 //! | [`proxy`] | HTTP and SPDY proxy cores + §6.1 variants |
 //! | [`workload`] | Table 1 corpus, page synthesis, visit schedules |
 //! | [`trace`] | flight recorder: typed event bus, sinks, metrics registry |
+//! | [`causal`] | critical-path engine: per-visit PLT decomposition, cross-run diff attribution |
 //! | [`prof`] | host-side self-profiler: counting allocator, spans, sweep heartbeats |
 //! | [`core`] | the assembled testbed driver and experiment configs |
 //! | [`experiments`] | regenerate every paper table/figure |
@@ -50,6 +51,7 @@
 
 pub use spdyier_browser as browser;
 pub use spdyier_bytes as payload;
+pub use spdyier_causal as causal;
 pub use spdyier_cellular as cellular;
 pub use spdyier_core as core;
 pub use spdyier_experiments as experiments;
