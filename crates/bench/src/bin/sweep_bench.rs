@@ -24,7 +24,21 @@
 //! sweep_bench [--seeds N] [--reps N] [--out FILE] [--baseline FILE]
 //!             [--max-overhead PCT] [--min-events-ratio R]
 //!             [--max-allocs-ratio R]
+//! sweep_bench rss [--cells N] [--visits V] [--growth G]
+//!                 [--max-rss-ratio R] [--out FILE]
 //! ```
+//!
+//! The `rss` mode is the streaming-sweep memory gate: it runs a
+//! synthetic ≥100-cell sweep through the resumable `experiments sweep`
+//! fold path twice — once at `--visits` per cell and once at
+//! `--visits × --growth` — in separate child processes, and fails if
+//! the peak RSS grows by more than `--max-rss-ratio` (default 1.50)
+//! while the folded work grows `--growth`× (default 10×). A collecting
+//! runner retains every `RunResult`, so its RSS scales ~`--growth`×
+//! with total visits; the fold path holds one raw result per worker,
+//! so its RSS is flat up to that single in-flight transient. The 1.5×
+//! ceiling admits the transient and rejects retention. Writes
+//! `BENCH_PR10.json`.
 
 use spdyier_core::NetworkKind;
 use spdyier_experiments::{paired_cells, profiled_cells_on, Executor};
@@ -97,6 +111,66 @@ fn run_child(seeds: u64, profiled: bool) {
             );
         }
     }
+}
+
+/// A synthetic sweep manifest for the RSS gate: `cells` cells (paired
+/// HTTP/SPDY, so `cells / 2` seeds) of a small same-domain page with
+/// `visits` visits per cell.
+fn rss_manifest(cells: u64, visits: u64) -> spdyier_scenario::Manifest {
+    let mut m = spdyier_scenario::Manifest::from_json(&format!(
+        r#"{{
+            "schema_version": 1,
+            "name": "sweep_bench_rss",
+            "network": {{ "kind": "wifi" }},
+            "workload": {{
+                "kind": "synthetic",
+                "objects": 6,
+                "object_bytes": 1200,
+                "same_domain": true,
+                "visits": {visits},
+                "interval_s": 30
+            }},
+            "protocols": ["http", "spdy"]
+        }}"#
+    ))
+    .expect("rss manifest decodes");
+    m.seeds = spdyier_scenario::Seeds {
+        base: 0,
+        count: cells.div_ceil(2),
+    };
+    m
+}
+
+/// RSS child mode: run the folded sweep serially into a throwaway
+/// directory and report this process's peak RSS.
+fn run_rss_child(cells: u64, visits: u64) {
+    let manifest = rss_manifest(cells, visits);
+    let dir = std::env::temp_dir().join(format!("sweep_bench_rss_{}_{visits}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let started = std::time::Instant::now();
+    let outcome = spdyier_experiments::run_sweep_on(
+        &Executor::new(1),
+        &manifest,
+        &dir,
+        spdyier_experiments::SweepOptions::default(),
+    )
+    .expect("rss sweep runs");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let spdyier_experiments::SweepOutcome::Completed(outcome) = outcome else {
+        panic!("rss sweep must run to completion");
+    };
+    assert_eq!(outcome.exit.code(), 0, "{}", outcome.summary);
+    // Identity digest over the results contract, so the parent can
+    // assert the folded sweep stayed deterministic across reps.
+    let result = std::fs::read(dir.join("result.json")).expect("result.json");
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    fnv1a(&mut digest, &result);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("wall_ms={wall_ms:.3}");
+    println!("cells={}", manifest.cells().len());
+    println!("visits_per_cell={visits}");
+    println!("digest={digest:016x}");
+    println!("peak_rss_kb={}", peak_rss_kb());
 }
 
 /// One child run's parsed report.
@@ -202,8 +276,129 @@ fn json_mode(r: &Report, profiled: bool) -> String {
     s
 }
 
+fn spawn_rss_child(cells: u64, visits: u64) -> Report {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .arg("rss-child")
+        .arg(cells.to_string())
+        .arg(visits.to_string())
+        .output()
+        .expect("spawn rss child");
+    assert!(
+        out.status.success(),
+        "rss child (visits={visits}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fields = String::from_utf8(out.stdout)
+        .expect("child stdout utf8")
+        .lines()
+        .filter_map(|l| {
+            l.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect();
+    Report { fields }
+}
+
+/// The `rss` subcommand: the streaming-sweep memory-flatness gate.
+fn run_rss_bench(args: &[String]) {
+    let mut cells = 100u64;
+    let mut visits = 3u64;
+    let mut growth = 10u64;
+    let mut max_rss_ratio = 1.50f64;
+    let mut out_path = String::from("BENCH_PR10.json");
+    let mut i = 0;
+    while i < args.len() {
+        let take = |a: &Option<&String>, what: &str| -> String {
+            a.unwrap_or_else(|| panic!("{what} needs a value")).clone()
+        };
+        match args[i].as_str() {
+            "--cells" => {
+                cells = take(&args.get(i + 1), "--cells").parse().expect("--cells");
+                assert!(cells >= 2, "--cells must be at least 2");
+            }
+            "--visits" => {
+                visits = take(&args.get(i + 1), "--visits")
+                    .parse()
+                    .expect("--visits");
+                assert!(visits >= 1, "--visits must be at least 1");
+            }
+            "--growth" => {
+                growth = take(&args.get(i + 1), "--growth")
+                    .parse()
+                    .expect("--growth");
+                assert!(growth >= 2, "--growth must be at least 2");
+            }
+            "--max-rss-ratio" => {
+                max_rss_ratio = take(&args.get(i + 1), "--max-rss-ratio")
+                    .parse()
+                    .expect("--max-rss-ratio");
+            }
+            "--out" => {
+                out_path = take(&args.get(i + 1), "--out");
+            }
+            other => {
+                eprintln!(
+                    "usage: sweep_bench rss [--cells N] [--visits V] [--growth G] \
+                     [--max-rss-ratio R] [--out FILE]"
+                );
+                panic!("unknown argument {other}");
+            }
+        }
+        i += 2;
+    }
+
+    println!("rss gate: {cells}-cell folded sweep at {visits} visits/cell...");
+    let lo = spawn_rss_child(cells, visits);
+    let hi_visits = visits * growth;
+    println!("rss gate: {cells}-cell folded sweep at {hi_visits} visits/cell ({growth}x)...");
+    let hi = spawn_rss_child(cells, hi_visits);
+
+    let lo_rss = lo.num("peak_rss_kb");
+    let hi_rss = hi.num("peak_rss_kb");
+    let rss_ratio = if lo_rss > 0.0 { hi_rss / lo_rss } else { 0.0 };
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"gate\": \"sweep_rss_flat\",\n  \"cells\": {},\n  \"visits_lo\": {visits},\n  \"visits_hi\": {hi_visits},\n  \"growth\": {growth},\n  \"lo\": {{ \"wall_ms\": {}, \"peak_rss_kb\": {} }},\n  \"hi\": {{ \"wall_ms\": {}, \"peak_rss_kb\": {} }},\n  \"rss_ratio\": {rss_ratio:.3},\n  \"max_rss_ratio\": {max_rss_ratio:.2}\n}}\n",
+        lo.get("cells"),
+        lo.get("wall_ms"),
+        lo.get("peak_rss_kb"),
+        hi.get("wall_ms"),
+        hi.get("peak_rss_kb"),
+    );
+    std::fs::write(&out_path, &json).expect("write rss report");
+    println!("wrote {out_path}");
+    println!(
+        "peak RSS {lo_rss:.0} kB at {visits} visits/cell -> {hi_rss:.0} kB at {hi_visits} \
+         ({rss_ratio:.3}x for {growth}x the folded visits; ceiling {max_rss_ratio:.2}x)"
+    );
+    if rss_ratio > max_rss_ratio {
+        eprintln!(
+            "FAIL: peak RSS grew {rss_ratio:.3}x for {growth}x the per-cell visits — the \
+             sweep is retaining per-visit state instead of folding it"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: peak RSS is flat in per-cell visits");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("rss-child") {
+        let cells = args
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .expect("rss-child mode needs a cell count");
+        let visits = args
+            .get(2)
+            .and_then(|s| s.parse().ok())
+            .expect("rss-child mode needs a visit count");
+        run_rss_child(cells, visits);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("rss") {
+        run_rss_bench(&args[1..]);
+        return;
+    }
     if args.first().map(String::as_str) == Some("child") {
         let seeds = args
             .get(1)

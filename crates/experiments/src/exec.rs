@@ -80,20 +80,40 @@ impl Executor {
         F: Fn(usize) -> T + Sync,
         O: Fn(usize, usize, &T) + Sync,
     {
+        self.run_folded(n, f, |job, worker, out| {
+            observe(job, worker, &out);
+            out
+        })
+    }
+
+    /// Map-then-reduce per job: evaluate `f(i)` and immediately reduce
+    /// its output with `fold(job, worker, raw)` **on the worker thread
+    /// that produced it**, storing only the reduced value.
+    ///
+    /// This is the streaming primitive population-scale sweeps fold
+    /// through: the raw output (a full `RunResult`, O(visits) big) is
+    /// consumed by value and dropped before the next job starts, so the
+    /// sweep retains O(jobs) raw results at any instant and O(n) only
+    /// of the *reduced* accumulators. Reduced outputs land in
+    /// index-addressed slots, so — exactly like [`Executor::run`] — the
+    /// returned `Vec` is in job order and byte-identical at any pool
+    /// width. `fold` observes completion order and the worker index,
+    /// which makes it the natural place to checkpoint and heartbeat.
+    pub fn run_folded<T, R, F, G>(&self, n: usize, f: F, fold: G) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize) -> T + Sync,
+        G: Fn(usize, usize, T) -> R + Sync,
+    {
         if self.jobs == 1 || n <= 1 {
-            return (0..n)
-                .map(|i| {
-                    let out = f(i);
-                    observe(i, 0, &out);
-                    out
-                })
-                .collect();
+            return (0..n).map(|i| fold(i, 0, f(i))).collect();
         }
-        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for worker in 0..self.jobs.min(n) {
-                let observe = &observe;
+                let fold = &fold;
                 let f = &f;
                 let slots = &slots;
                 let next = &next;
@@ -102,8 +122,7 @@ impl Executor {
                     if i >= n {
                         break;
                     }
-                    let out = f(i);
-                    observe(i, worker, &out);
+                    let out = fold(i, worker, f(i));
                     *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
@@ -145,6 +164,34 @@ mod tests {
     #[test]
     fn more_workers_than_jobs_is_fine() {
         assert_eq!(Executor::new(16).run(2, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn run_folded_reduces_worker_side_in_job_order() {
+        // The raw value is moved into the reducer (ownership proves the
+        // executor cannot retain it), and only the reduction survives.
+        for workers in [1, 4] {
+            let out = Executor::new(workers).run_folded(
+                40,
+                |i| vec![i; 1000], // the "big" per-job output
+                |job, worker, raw: Vec<usize>| {
+                    assert!(worker < 4);
+                    assert_eq!(raw.len(), 1000);
+                    assert_eq!(raw[0], job);
+                    raw.len() * job // the small reduced value
+                },
+            );
+            assert_eq!(out, (0..40).map(|i| i * 1000).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_folded_serial_and_parallel_are_identical() {
+        let serial =
+            Executor::new(1).run_folded(23, |i| i as u64 * 3, |job, _, raw| raw + job as u64);
+        let parallel =
+            Executor::new(6).run_folded(23, |i| i as u64 * 3, |job, _, raw| raw + job as u64);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

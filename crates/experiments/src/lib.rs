@@ -19,6 +19,7 @@ pub mod plt;
 pub mod profiling;
 pub mod proxy_bottleneck;
 pub mod scenario_run;
+pub mod sweep;
 pub mod table1;
 pub mod tcp_dynamics;
 
@@ -32,7 +33,11 @@ use spdyier_workload::VisitSchedule;
 pub use causal_cli::{diff as causal_diff, explain as causal_explain, CausalOutcome};
 pub use exec::Executor;
 pub use profiling::{paired_cells, profiled_cells_on, ProfiledSweep};
-pub use scenario_run::{run_manifest, run_manifest_on, ScenarioOutcome, ScenarioRun};
+pub use scenario_run::{
+    execute_folded_on, fold_cell, run_manifest, run_manifest_on, FoldedCell, FoldedRun,
+    ScenarioOutcome, ScenarioRun,
+};
+pub use sweep::{run_sweep, run_sweep_on, SweepOptions, SweepOutcome};
 
 /// A rendered experiment result.
 #[derive(Debug)]

@@ -463,11 +463,75 @@ fn run_scenario(args: &[String]) -> ! {
     }
 }
 
+/// `experiments sweep <MANIFEST> --out DIR [--seeds N] [--stop-after K]`:
+/// the checkpointing, resumable population-scale runner. Re-running the
+/// same command against the same `--out` directory resumes from the
+/// checkpoint store.
+fn run_sweep_cmd(args: &[String]) -> ! {
+    let usage =
+        "usage: experiments sweep <MANIFEST.(json|yaml)> --out DIR [--seeds N] [--stop-after K]";
+    let positional = positional_args(args, &["--out", "--seeds", "--stop-after"]);
+    let [manifest_path] = positional[..] else {
+        config_error(usage);
+    };
+    let Some(out_dir) = parse_flag_str(args, "--out") else {
+        config_error(&format!(
+            "experiments sweep: --out is required (the checkpoint store lives there)\n{usage}"
+        ));
+    };
+    let mut manifest = Manifest::from_file(std::path::Path::new(manifest_path))
+        .unwrap_or_else(|e| config_error(&format!("{manifest_path}: {e}")));
+    if let Some(n) = parse_flag_str(args, "--seeds") {
+        let n: u64 = n.parse().unwrap_or_else(|_| {
+            config_error(&format!(
+                "experiments sweep: --seeds: expected an unsigned integer, got {n:?}"
+            ))
+        });
+        if n == 0 {
+            config_error("experiments sweep: --seeds: must be at least 1");
+        }
+        manifest.seeds.count = n;
+    }
+    let stop_after = parse_flag_str(args, "--stop-after").map(|k| {
+        k.parse().unwrap_or_else(|_| {
+            config_error(&format!(
+                "experiments sweep: --stop-after: expected an unsigned integer, got {k:?}"
+            ))
+        })
+    });
+    let opts = spdyier_experiments::SweepOptions { stop_after };
+    let out_path = std::path::PathBuf::from(&out_dir);
+    match spdyier_experiments::run_sweep(&manifest, &out_path, opts) {
+        Ok(spdyier_experiments::SweepOutcome::Completed(outcome)) => {
+            for p in &outcome.written {
+                println!("wrote {}", p.display());
+            }
+            println!("{}", outcome.summary);
+            std::process::exit(outcome.exit.code());
+        }
+        Ok(spdyier_experiments::SweepOutcome::Interrupted {
+            checkpointed,
+            total,
+        }) => {
+            println!(
+                "sweep {}: stopped with {checkpointed}/{total} cell(s) checkpointed; \
+                 re-run the same command to resume",
+                manifest.name
+            );
+            std::process::exit(0);
+        }
+        Err(e) => config_error(&e.to_string()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: experiments <id|all> [--seeds N] [--json DIR]");
         eprintln!("       experiments run <MANIFEST.(json|yaml)> [--out DIR] [--seeds N]");
+        eprintln!(
+            "       experiments sweep <MANIFEST.(json|yaml)> --out DIR [--seeds N] [--stop-after K]"
+        );
         eprintln!("       experiments export <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments trace <http|spdy> <3g|lte|wifi|3g-pinned> <DIR> [--seed N]");
         eprintln!("       experiments paired <3g|lte|wifi|3g-pinned> <FILE> [--seeds N]");
@@ -482,6 +546,9 @@ fn main() {
     }
     if args[0] == "run" {
         run_scenario(&args[1..]);
+    }
+    if args[0] == "sweep" {
+        run_sweep_cmd(&args[1..]);
     }
     if args[0] == "export" {
         run_export(&args[1..]);

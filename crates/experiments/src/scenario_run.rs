@@ -9,6 +9,17 @@
 //! bundles). The returned [`ScenarioOutcome`] carries the standardized
 //! exit code (0 pass / 1 assertion failure / 2 limit exceeded — config
 //! errors never reach the runner; they fail at manifest decode, exit 3).
+//!
+//! Since the streaming-sweep refactor the runner folds as it goes:
+//! [`execute_folded_on`] reduces each cell to a [`FoldedCell`] (metrics
+//! accumulator + pre-rendered artifacts) **on the worker thread that
+//! ran it** and drops the O(visits) [`RunResult`] immediately, so a
+//! manifest run holds O(cells) state instead of O(total visits). The
+//! collect-everything [`execute_on`] path remains for callers that need
+//! raw results (the legacy `trace` subcommand, equivalence tests); its
+//! [`finish`] converts into the folded representation and shares the
+//! exact same artifact assembly, so both paths are byte-identical by
+//! construction.
 
 use crate::exec::Executor;
 use serde::{Serialize, Value};
@@ -42,6 +53,101 @@ pub struct ScenarioRun {
     pub results: Vec<Option<(RunResult, Option<FlightLog>)>>,
     /// The first cell that exceeded a limit, with its error.
     pub limit_error: Option<(usize, RunError)>,
+}
+
+/// One cell's worker-side reduction: everything the results contract
+/// needs from the cell, with the raw `RunResult`/`FlightLog` dropped.
+#[derive(Debug, Clone)]
+pub struct FoldedCell {
+    /// The cell's metrics accumulator.
+    pub metrics: CellMetrics,
+    /// The cell's legacy paired-dump line (serialized `RunResult`),
+    /// when the manifest requests the paired dump.
+    pub dump_line: Option<String>,
+    /// The cell's pre-rendered trace artifacts, when the manifest
+    /// requests them (and the cell was traced).
+    pub trace_files: Vec<DataFile>,
+}
+
+/// The folded per-cell outputs of executing a manifest, in cell order.
+#[derive(Debug)]
+pub struct FoldedRun {
+    /// The expanded cells.
+    pub cells: Vec<Cell>,
+    /// One folded output per completed cell.
+    pub outputs: Vec<Option<FoldedCell>>,
+    /// The first cell that exceeded a limit, with its error.
+    pub limit_error: Option<(usize, RunError)>,
+}
+
+/// Reduce one executed cell to its [`FoldedCell`] under `manifest`'s
+/// output options. Both execution paths (and the sweep runner's
+/// checkpoint replay) route through this one reducer, so what lands in
+/// the artifacts cannot depend on which path produced it.
+pub fn fold_cell(
+    manifest: &Manifest,
+    cell: &Cell,
+    result: &RunResult,
+    log: Option<&FlightLog>,
+) -> FoldedCell {
+    let metrics = CellMetrics::from_run(cell, result, log);
+    let dump_line = manifest
+        .outputs
+        .paired_dump
+        .then(|| serde_json::to_string(result).expect("serialize run"));
+    let trace_files = match log {
+        Some(log) if manifest.outputs.trace_artifacts => {
+            cell_trace_files(&cell.artifact_label(manifest), result, log)
+        }
+        _ => Vec::new(),
+    };
+    FoldedCell {
+        metrics,
+        dump_line,
+        trace_files,
+    }
+}
+
+/// Execute every cell of `manifest` on `exec`, reducing each cell to a
+/// [`FoldedCell`] on the worker that ran it. Peak memory holds at most
+/// one raw [`RunResult`] per worker; reduced outputs land in cell
+/// order, so artifacts stay byte-identical at any pool width.
+pub fn execute_folded_on(exec: &Executor, manifest: &Manifest) -> FoldedRun {
+    let cells = manifest.cells();
+    let level = manifest.effective_trace();
+    let raw = exec.run_folded(
+        cells.len(),
+        |i| {
+            let cfg = cells[i].build_config(manifest);
+            if level == TraceLevel::Off {
+                spdyier_core::try_run_experiment(cfg).map(|r| (r, None))
+            } else {
+                spdyier_core::try_run_experiment_traced(cfg).map(|(r, log)| (r, Some(log)))
+            }
+        },
+        |i, _worker, out| {
+            out.map(|(result, log)| fold_cell(manifest, &cells[i], &result, log.as_ref()))
+        },
+    );
+    let mut limit_error = None;
+    let outputs = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(folded) => Some(folded),
+            Err(e) => {
+                if limit_error.is_none() {
+                    limit_error = Some((i, e));
+                }
+                None
+            }
+        })
+        .collect();
+    FoldedRun {
+        cells,
+        outputs,
+        limit_error,
+    }
 }
 
 /// Execute every cell of `manifest` on `exec`. Cell outputs are collected
@@ -171,29 +277,23 @@ fn result_file(
     }
 }
 
-/// Per-cell trace artifacts (the legacy `experiments trace` bundle plus
-/// the schema-versioned stall-table sidecar).
-fn trace_artifacts(manifest: &Manifest, run: &ScenarioRun) -> Vec<DataFile> {
-    let mut files = Vec::new();
-    for (cell, result) in run.cells.iter().zip(&run.results) {
-        let Some((result, Some(log))) = result.as_ref() else {
-            continue;
-        };
-        let label = cell.artifact_label(manifest);
-        let stalls = stall_file(&label, &attribute_stalls(log));
-        files.push(DataFile {
+/// One cell's trace artifacts (the legacy `experiments trace` bundle
+/// plus the schema-versioned stall-table sidecar).
+fn cell_trace_files(label: &str, result: &RunResult, log: &FlightLog) -> Vec<DataFile> {
+    let stalls = stall_file(label, &attribute_stalls(log));
+    vec![
+        DataFile {
             name: format!("trace_{label}.jsonl"),
             contents: log.to_jsonl(),
-        });
-        files.push(DataFile {
+        },
+        DataFile {
             name: format!("waterfall_{label}.har.json"),
             contents: waterfall_traced_json(result, Some(log)),
-        });
-        files.push(stall_manifest_file(&stalls));
-        files.push(stalls);
-        files.push(metrics_file(&label, &log.metrics));
-    }
-    files
+        },
+        stall_manifest_file(&stalls),
+        stalls,
+        metrics_file(label, &log.metrics),
+    ]
 }
 
 /// Run a manifest end to end on the default executor and write its
@@ -203,33 +303,57 @@ pub fn run_manifest(manifest: &Manifest, out_dir: &Path) -> std::io::Result<Scen
 }
 
 /// [`run_manifest`] on an explicit executor (tests pin the pool width).
+/// Routed through the fold path: cells reduce worker-side and the raw
+/// results never accumulate.
 pub fn run_manifest_on(
     exec: &Executor,
     manifest: &Manifest,
     out_dir: &Path,
 ) -> std::io::Result<ScenarioOutcome> {
-    let run = execute_on(exec, manifest);
-    finish(manifest, &run, out_dir)
+    let run = execute_folded_on(exec, manifest);
+    finish_folded(manifest, &run, out_dir)
 }
 
 /// Evaluate assertions over an executed [`ScenarioRun`] and write the
 /// results-contract artifacts. Split from [`run_manifest_on`] so callers
 /// that need the raw run (the legacy `trace` subcommand prints event
-/// counts) can execute first and finish after.
+/// counts) can execute first and finish after. Internally this folds
+/// the retained results and delegates to [`finish_folded`] — one
+/// assembly routine, so the two paths cannot drift apart.
 pub fn finish(
     manifest: &Manifest,
     run: &ScenarioRun,
     out_dir: &Path,
 ) -> std::io::Result<ScenarioOutcome> {
+    let folded = FoldedRun {
+        cells: run.cells.clone(),
+        outputs: run
+            .cells
+            .iter()
+            .zip(&run.results)
+            .map(|(cell, result)| {
+                result
+                    .as_ref()
+                    .map(|(r, log)| fold_cell(manifest, cell, r, log.as_ref()))
+            })
+            .collect(),
+        limit_error: run.limit_error.clone(),
+    };
+    finish_folded(manifest, &folded, out_dir)
+}
+
+/// Evaluate assertions over a [`FoldedRun`] and write the
+/// results-contract artifacts.
+pub fn finish_folded(
+    manifest: &Manifest,
+    run: &FoldedRun,
+    out_dir: &Path,
+) -> std::io::Result<ScenarioOutcome> {
     let cell_metrics: Vec<CellMetrics> = run
-        .cells
+        .outputs
         .iter()
-        .zip(&run.results)
-        .filter_map(|(cell, result)| {
-            result
-                .as_ref()
-                .map(|(r, log)| CellMetrics::from_run(cell, r, log.as_ref()))
-        })
+        .flatten()
+        .map(|f| f.metrics.clone())
         .collect();
 
     let (verdicts, limit_detail, exit);
@@ -261,7 +385,16 @@ pub fn finish(
     }];
     if manifest.outputs.paired_dump && run.limit_error.is_none() {
         let dump_name = format!("paired_{}.jsonl", manifest.network.kind.cli_name());
-        let dump = paired_dump_string(run);
+        let mut dump = String::new();
+        for line in run
+            .outputs
+            .iter()
+            .flatten()
+            .filter_map(|f| f.dump_line.as_deref())
+        {
+            dump.push_str(line);
+            dump.push('\n');
+        }
         let keys = spdyier_core::contract::json_line_keys(dump.lines().next().unwrap_or_default());
         files.push(paired_meta_file(
             &dump_name,
@@ -274,9 +407,12 @@ pub fn finish(
             contents: dump,
         });
     }
-    if manifest.outputs.trace_artifacts {
-        files.extend(trace_artifacts(manifest, run));
-    }
+    files.extend(
+        run.outputs
+            .iter()
+            .flatten()
+            .flat_map(|f| f.trace_files.iter().cloned()),
+    );
     let artifact_names: Vec<String> = std::iter::once("result.json".to_string())
         .chain(files.iter().map(|f| f.name.clone()))
         .collect();

@@ -1,0 +1,549 @@
+//! The resumable population-scale sweep runner.
+//!
+//! `experiments sweep <MANIFEST> --out DIR` executes a manifest's cells
+//! through the streaming fold path ([`crate::scenario_run`]) with two
+//! additions a long sweep needs:
+//!
+//! * **Checkpointing.** As each cell completes, its [`CellMetrics`]
+//!   accumulator is appended to `sweep_store.jsonl` in the output
+//!   directory — an append-only, schema-versioned store whose every
+//!   line is guarded by a CRC-32 of its payload. A sweep killed at any
+//!   point loses at most the cells in flight; the store survives a torn
+//!   final line (the tail is dropped on replay).
+//! * **Resume.** Re-running the same command against the same output
+//!   directory replays the store (after verifying the schema version,
+//!   the manifest digest, and the cell count), runs only the missing
+//!   cells, and appends their checkpoints. Because each cell's metrics
+//!   are a deterministic function of the manifest and the codec
+//!   round-trips exactly, the final `result.json` is byte-identical to
+//!   an uninterrupted sweep — at any pool width.
+//!
+//! Workers heartbeat into `heartbeat_sweep.jsonl` via the PR 4
+//! [`SweepTelemetry`] (cells done/total, events/s, ETA, peak RSS); on
+//! resume the file is appended and the counters cover the resumed
+//! invocation's pending cells, so the ETA tracks the work that is
+//! actually left.
+//!
+//! The store checkpoints *metrics only*, so manifests that request
+//! per-cell bulk artifacts (`outputs.paired_dump`,
+//! `outputs.trace_artifacts`) are rejected up front — those artifacts
+//! cannot be reconstructed from a metrics checkpoint, and a
+//! population-scale sweep could not afford to retain them anyway.
+
+use crate::exec::Executor;
+use crate::scenario_run::{finish_folded, fold_cell, FoldedCell, FoldedRun, ScenarioOutcome};
+use serde::{Serialize, Value};
+use spdyier_core::{RunError, TraceLevel};
+use spdyier_prof::{CellReport, SweepTelemetry};
+use spdyier_scenario::{CellMetrics, Manifest};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Schema version stamped into the checkpoint store header.
+pub const SWEEP_STORE_SCHEMA_VERSION: u32 = 1;
+
+/// The checkpoint store's file name inside the sweep output directory.
+pub const SWEEP_STORE_NAME: &str = "sweep_store.jsonl";
+
+/// The sweep heartbeat file name inside the sweep output directory.
+pub const SWEEP_HEARTBEAT_NAME: &str = "heartbeat_sweep.jsonl";
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven, no dependencies
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Store lines
+// ---------------------------------------------------------------------
+
+/// A store line is `xxxxxxxx <json>` — eight lowercase hex digits of
+/// the CRC-32 of the JSON payload, one space, the payload itself.
+fn store_line(json: &str) -> String {
+    format!("{:08x} {json}\n", crc32(json.as_bytes()))
+}
+
+/// Split and verify one store line, returning its JSON payload.
+fn check_line(line: &str) -> Result<&str, String> {
+    let (crc_hex, json) = line
+        .split_once(' ')
+        .ok_or_else(|| "missing CRC prefix".to_string())?;
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|_| "malformed CRC prefix".to_string())?;
+    let got = crc32(json.as_bytes());
+    if want != got {
+        return Err(format!(
+            "CRC mismatch (recorded {want:08x}, computed {got:08x})"
+        ));
+    }
+    Ok(json)
+}
+
+/// A digest of everything that defines the sweep's cells, stamped into
+/// the store header so a resume against a *different* manifest (or a
+/// different `--seeds` override) is refused instead of silently mixing
+/// checkpoints. CRC-32 over the manifest's canonical debug rendering —
+/// stable for a given build, which is the only regime a checkpoint
+/// store lives in.
+pub fn manifest_digest(manifest: &Manifest) -> String {
+    format!("{:08x}", crc32(format!("{manifest:?}").as_bytes()))
+}
+
+fn header_json(manifest: &Manifest, cells: usize) -> String {
+    let v = Value::Object(vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(SWEEP_STORE_SCHEMA_VERSION)),
+        ),
+        ("kind".into(), Value::Str("sweep_store".into())),
+        ("scenario".into(), Value::Str(manifest.name.clone())),
+        (
+            "manifest_digest".into(),
+            Value::Str(manifest_digest(manifest)),
+        ),
+        ("cells".into(), Value::U64(cells as u64)),
+    ]);
+    serde_json::to_string(&RawValue(v)).expect("header serializes")
+}
+
+fn cell_json(index: usize, metrics: &CellMetrics) -> String {
+    let v = Value::Object(vec![
+        ("cell".into(), Value::U64(index as u64)),
+        ("metrics".into(), metrics.to_value()),
+    ]);
+    serde_json::to_string(&RawValue(v)).expect("cell checkpoint serializes")
+}
+
+struct RawValue(Value);
+
+impl Serialize for RawValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+/// What replaying a checkpoint store recovered.
+#[derive(Debug)]
+pub struct Replay {
+    /// Per-cell recovered metrics, indexed by cell order; `None` for
+    /// cells that still need to run.
+    pub done: Vec<Option<CellMetrics>>,
+    /// How many distinct cells were recovered.
+    pub recovered: usize,
+    /// Whether a torn (CRC-failing or unparsable) tail line was
+    /// dropped.
+    pub dropped_tail: bool,
+}
+
+fn u64_field(obj: &Value, field: &str, ctx: &str) -> Result<u64, String> {
+    obj.get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing or non-integer {field:?}"))
+}
+
+fn str_field<'a>(obj: &'a Value, field: &str, ctx: &str) -> Result<&'a str, String> {
+    obj.get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{ctx}: missing or non-string {field:?}"))
+}
+
+/// Replay `sweep_store.jsonl` at `path` against `manifest` (whose sweep
+/// has `cells` cells). A missing file is an empty replay; a header that
+/// disagrees on schema version, manifest digest, or cell count is an
+/// error (the store belongs to a different sweep). Any line that fails
+/// its CRC or does not parse truncates the replay at that point — with
+/// append-only writes only the tail can be torn, and re-running the
+/// lost cells is always safe.
+pub fn replay_store(path: &Path, manifest: &Manifest, cells: usize) -> Result<Replay, String> {
+    let mut replay = Replay {
+        done: (0..cells).map(|_| None).collect(),
+        recovered: 0,
+        dropped_tail: false,
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(replay),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut lines = text.lines();
+    let Some(first) = lines.next() else {
+        return Ok(replay);
+    };
+    let ctx = format!("{}: header", path.display());
+    let header_json = check_line(first).map_err(|e| format!("{ctx}: {e}"))?;
+    let header: Value =
+        serde_json::from_str(header_json).map_err(|e| format!("{ctx}: invalid JSON: {e}"))?;
+    let version = u64_field(&header, "schema_version", &ctx)?;
+    if version != u64::from(SWEEP_STORE_SCHEMA_VERSION) {
+        return Err(format!(
+            "{ctx}: store is schema v{version}, this build speaks v{SWEEP_STORE_SCHEMA_VERSION}"
+        ));
+    }
+    let digest = str_field(&header, "manifest_digest", &ctx)?;
+    if digest != manifest_digest(manifest) {
+        return Err(format!(
+            "{ctx}: store was written for a different manifest \
+             (digest {digest}, this sweep is {}); use a fresh --out directory",
+            manifest_digest(manifest)
+        ));
+    }
+    let header_cells = u64_field(&header, "cells", &ctx)?;
+    if header_cells != cells as u64 {
+        return Err(format!(
+            "{ctx}: store covers {header_cells} cells, this sweep has {cells}"
+        ));
+    }
+    for (lineno, line) in lines.enumerate() {
+        let ctx = format!("{}: line {}", path.display(), lineno + 2);
+        let json = match check_line(line) {
+            Ok(json) => json,
+            Err(_) => {
+                // Torn tail: drop this and everything after it.
+                replay.dropped_tail = true;
+                break;
+            }
+        };
+        let Ok(v) = serde_json::from_str(json) else {
+            replay.dropped_tail = true;
+            break;
+        };
+        let index = u64_field(&v, "cell", &ctx)? as usize;
+        if index >= cells {
+            return Err(format!("{ctx}: cell index {index} out of range"));
+        }
+        let metrics = v
+            .get("metrics")
+            .ok_or_else(|| format!("{ctx}: missing \"metrics\""))
+            .and_then(|m| CellMetrics::from_value(m).map_err(|e| format!("{ctx}: {e}")))?;
+        if replay.done[index].is_none() {
+            replay.recovered += 1;
+        }
+        replay.done[index] = Some(metrics);
+    }
+    Ok(replay)
+}
+
+// ---------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------
+
+/// Sweep knobs beyond the manifest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// Stop (cleanly) after this many *fresh* cells have been
+    /// checkpointed, leaving the rest to a resume. The kill-injection
+    /// hook the resumability tests and the CI smoke drill use; `None`
+    /// runs to completion.
+    pub stop_after: Option<usize>,
+}
+
+/// How a sweep invocation ended.
+#[derive(Debug)]
+pub enum SweepOutcome {
+    /// Every cell ran (or replayed); the results contract was written.
+    Completed(Box<ScenarioOutcome>),
+    /// `stop_after` tripped: the store holds `checkpointed` of `total`
+    /// cells and the same command resumes the rest.
+    Interrupted {
+        /// Cells in the store after this invocation.
+        checkpointed: usize,
+        /// Cells the sweep has in total.
+        total: usize,
+    },
+}
+
+/// A sweep-level configuration error (bad manifest/store combination);
+/// maps to the standardized config-error exit.
+#[derive(Debug)]
+pub struct SweepError(pub String);
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Run (or resume) `manifest`'s sweep on `exec`, checkpointing into and
+/// replaying from `out_dir`. See the module docs for the store and
+/// resume semantics.
+pub fn run_sweep_on(
+    exec: &Executor,
+    manifest: &Manifest,
+    out_dir: &Path,
+    opts: SweepOptions,
+) -> Result<SweepOutcome, SweepError> {
+    if manifest.outputs.paired_dump || manifest.outputs.trace_artifacts {
+        return Err(SweepError(
+            "experiments sweep: manifest requests per-cell bulk artifacts \
+             (outputs.paired_dump / outputs.trace_artifacts), which the \
+             metrics-only checkpoint store cannot resume; use `experiments run`"
+                .into(),
+        ));
+    }
+    let cells = manifest.cells();
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| SweepError(format!("--out {}: {e}", out_dir.display())))?;
+    let store_path = out_dir.join(SWEEP_STORE_NAME);
+    let replay = replay_store(&store_path, manifest, cells.len()).map_err(SweepError)?;
+
+    let pending: Vec<usize> = (0..cells.len())
+        .filter(|&i| replay.done[i].is_none())
+        .collect();
+
+    let mut store = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&store_path)
+        .map_err(|e| SweepError(format!("{}: {e}", store_path.display())))?;
+    if replay.recovered == 0 && !replay.dropped_tail {
+        let header = store_line(&header_json(manifest, cells.len()));
+        // An empty (or missing) store gets its header now; a store that
+        // already replayed cells already has one.
+        if store.metadata().map(|m| m.len() == 0).unwrap_or(false) {
+            store
+                .write_all(header.as_bytes())
+                .map_err(|e| SweepError(format!("{}: {e}", store_path.display())))?;
+        }
+    }
+    let store = Mutex::new(store);
+
+    let heartbeat = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_dir.join(SWEEP_HEARTBEAT_NAME))
+        .ok()
+        .map(|f| Box::new(f) as Box<dyn Write + Send>);
+    let telemetry = SweepTelemetry::new(pending.len(), heartbeat);
+
+    let level = manifest.effective_trace();
+    let fresh = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
+    let budget = opts.stop_after.unwrap_or(usize::MAX);
+
+    type RawCell =
+        Option<Result<(spdyier_core::RunResult, Option<spdyier_core::FlightLog>), RunError>>;
+    let folded: Vec<Option<Result<FoldedCell, RunError>>> = exec.run_folded(
+        pending.len(),
+        |j| -> RawCell {
+            if stopped.load(Ordering::Relaxed) {
+                return None;
+            }
+            let cfg = cells[pending[j]].build_config(manifest);
+            Some(if level == TraceLevel::Off {
+                spdyier_core::try_run_experiment(cfg).map(|r| (r, None))
+            } else {
+                spdyier_core::try_run_experiment_traced(cfg).map(|(r, log)| (r, Some(log)))
+            })
+        },
+        |j, worker, raw| {
+            let raw = raw?;
+            let index = pending[j];
+            Some(raw.map(|(result, log)| {
+                let out = fold_cell(manifest, &cells[index], &result, log.as_ref());
+                let line = store_line(&cell_json(index, &out.metrics));
+                {
+                    let mut store = store
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    // One write_all per checkpoint: a crash can tear at
+                    // most the final line, which replay drops.
+                    let _ = store.write_all(line.as_bytes());
+                }
+                if fresh.fetch_add(1, Ordering::Relaxed) + 1 >= budget {
+                    stopped.store(true, Ordering::Relaxed);
+                }
+                telemetry.cell_done(&CellReport {
+                    shard: worker,
+                    cell: index,
+                    visits: out.metrics.visits,
+                    events: out
+                        .metrics
+                        .counters
+                        .get("trace.emitted")
+                        .copied()
+                        .unwrap_or(0),
+                    trace_dropped: out
+                        .metrics
+                        .counters
+                        .get("trace.sink_dropped")
+                        .copied()
+                        .unwrap_or(0),
+                    allocs: 0,
+                    alloc_bytes: 0,
+                });
+                out
+            }))
+        },
+    );
+    telemetry.finish();
+
+    if folded.iter().any(Option::is_none) {
+        return Ok(SweepOutcome::Interrupted {
+            checkpointed: replay.recovered + fresh.load(Ordering::Relaxed),
+            total: cells.len(),
+        });
+    }
+
+    // Assemble the folded run in cell order: replayed checkpoints and
+    // fresh cells interleave by index, and both kinds carry metrics
+    // from the same fold — the store codec round-trips exactly, so the
+    // artifacts are byte-identical to an uninterrupted sweep.
+    let mut outputs: Vec<Option<FoldedCell>> = replay
+        .done
+        .into_iter()
+        .map(|m| {
+            m.map(|metrics| FoldedCell {
+                metrics,
+                dump_line: None,
+                trace_files: Vec::new(),
+            })
+        })
+        .collect();
+    let mut limit_error: Option<(usize, RunError)> = None;
+    for (j, out) in folded.into_iter().enumerate() {
+        let index = pending[j];
+        match out.expect("interrupted sweeps returned above") {
+            Ok(cell) => outputs[index] = Some(cell),
+            Err(e) => {
+                if limit_error.is_none() {
+                    limit_error = Some((index, e));
+                }
+            }
+        }
+    }
+    let run = FoldedRun {
+        cells,
+        outputs,
+        limit_error,
+    };
+    let outcome = finish_folded(manifest, &run, out_dir)
+        .map_err(|e| SweepError(format!("--out {}: {e}", out_dir.display())))?;
+    Ok(SweepOutcome::Completed(Box::new(outcome)))
+}
+
+/// [`run_sweep_on`] with the environment-sized executor.
+pub fn run_sweep(
+    manifest: &Manifest,
+    out_dir: &Path,
+    opts: SweepOptions,
+) -> Result<SweepOutcome, SweepError> {
+    run_sweep_on(&Executor::from_env(), manifest, out_dir, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn store_lines_round_trip_and_reject_corruption() {
+        let line = store_line(r#"{"cell":3}"#);
+        let json = check_line(line.trim_end()).expect("valid line verifies");
+        assert_eq!(json, r#"{"cell":3}"#);
+        let corrupted = line.replace("\"cell\":3", "\"cell\":4");
+        assert!(check_line(corrupted.trim_end()).is_err());
+        assert!(check_line("nocrcprefix").is_err());
+    }
+
+    #[test]
+    fn manifest_digest_tracks_manifest_identity() {
+        let a = Manifest::paper_baseline("sweep_a");
+        let mut b = a.clone();
+        assert_eq!(manifest_digest(&a), manifest_digest(&b));
+        b.seeds.count = 7;
+        assert_ne!(manifest_digest(&a), manifest_digest(&b));
+    }
+
+    #[test]
+    fn replay_of_missing_store_is_empty() {
+        let m = Manifest::paper_baseline("sweep_none");
+        let replay = replay_store(Path::new("/nonexistent/sweep_store.jsonl"), &m, 4)
+            .expect("missing store is an empty replay");
+        assert_eq!(replay.recovered, 0);
+        assert!(!replay.dropped_tail);
+        assert!(replay.done.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn replay_refuses_a_foreign_store() {
+        let dir =
+            std::env::temp_dir().join(format!("spdyier_sweep_foreign_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SWEEP_STORE_NAME);
+        let m = Manifest::paper_baseline("sweep_x");
+        let mut other = m.clone();
+        other.seeds.count = 9;
+        std::fs::write(&path, store_line(&header_json(&other, 18))).unwrap();
+        let err = replay_store(&path, &m, 4).expect_err("digest mismatch refuses");
+        assert!(err.contains("different manifest"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_drops_a_torn_tail_but_keeps_whole_lines() {
+        let dir = std::env::temp_dir().join(format!("spdyier_sweep_tail_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SWEEP_STORE_NAME);
+        let m = Manifest::paper_baseline("sweep_tail");
+        let mut metrics = CellMetrics {
+            seed: 5,
+            protocol: "http".into(),
+            ..CellMetrics::default()
+        };
+        metrics.visits = 3;
+        let mut text = store_line(&header_json(&m, 4));
+        text.push_str(&store_line(&cell_json(1, &metrics)));
+        let torn = store_line(&cell_json(2, &metrics));
+        text.push_str(&torn[..torn.len() / 2]); // crash mid-write
+        std::fs::write(&path, text).unwrap();
+        let replay = replay_store(&path, &m, 4).expect("replay tolerates torn tail");
+        assert_eq!(replay.recovered, 1);
+        assert!(replay.dropped_tail);
+        assert_eq!(replay.done[1].as_ref().unwrap().visits, 3);
+        assert!(replay.done[2].is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -182,12 +182,13 @@ fn heartbeats_cover_every_cell_of_a_parallel_sweep() {
     assert_eq!(lines.len(), 4);
     for line in &lines {
         for key in [
-            "\"schema_version\":1",
+            "\"schema_version\":2",
             "\"cells_total\":4",
             "\"events_per_sec\"",
             "\"allocs_per_visit\"",
             "\"trace_dropped\"",
             "\"eta_ms\"",
+            "\"peak_rss_kb\"",
         ] {
             assert!(line.contains(key), "heartbeat missing {key}: {line}");
         }

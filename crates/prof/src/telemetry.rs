@@ -20,8 +20,10 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-/// Schema version stamped into every heartbeat line.
-pub const HEARTBEAT_SCHEMA_VERSION: u32 = 1;
+/// Schema version stamped into every heartbeat line. v2 added
+/// `peak_rss_kb` and the finite-or-zero guarantee on every rate/ETA
+/// field.
+pub const HEARTBEAT_SCHEMA_VERSION: u32 = 2;
 
 /// What one finished cell reports.
 #[derive(Debug, Clone, Copy, Default)]
@@ -58,6 +60,19 @@ struct Heartbeat {
     allocs_per_visit: f64,
     trace_dropped: u64,
     eta_ms: f64,
+    peak_rss_kb: u64,
+}
+
+/// Every computed rate/ETA field goes through this: a monitor parsing
+/// heartbeats must never see `inf`/`NaN` (which the JSON writer would
+/// render as `null`) from a zero-rate denominator or a first-cell
+/// division, only a safe `0`.
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
 }
 
 /// Cumulative facts across the sweep so far.
@@ -135,24 +150,25 @@ impl SweepTelemetry {
             cells_total: self.total,
             elapsed_ms,
             events: t.events,
-            events_per_sec: if elapsed_ms > 0.0 {
+            events_per_sec: finite_or_zero(if elapsed_ms > 0.0 {
                 t.events as f64 / (elapsed_ms / 1e3)
             } else {
                 0.0
-            },
+            }),
             visits: t.visits,
             allocs: t.allocs,
-            allocs_per_visit: if t.visits > 0 {
+            allocs_per_visit: finite_or_zero(if t.visits > 0 {
                 t.allocs as f64 / t.visits as f64
             } else {
                 0.0
-            },
+            }),
             trace_dropped: t.trace_dropped,
-            eta_ms: if t.completed > 0 && self.total > t.completed {
+            eta_ms: finite_or_zero(if t.completed > 0 && self.total > t.completed {
                 elapsed_ms / t.completed as f64 * (self.total - t.completed) as f64
             } else {
                 0.0
-            },
+            }),
+            peak_rss_kb: crate::peak_rss_kb(),
         };
         let line = serde_json::to_string(&hb).expect("heartbeat serializes");
         let wrote = match state.out.as_mut() {
@@ -254,12 +270,43 @@ mod tests {
             "\"allocs_per_visit\"",
             "\"trace_dropped\"",
             "\"eta_ms\"",
+            "\"peak_rss_kb\"",
         ] {
             assert!(last.contains(key), "heartbeat missing {key}: {last}");
         }
         assert!(last.contains("\"cells_completed\":2"));
         assert!(last.contains("\"allocs_per_visit\":200"));
         assert!(last.contains("\"trace_dropped\":3"));
+        assert!(last.contains(&format!("\"schema_version\":{HEARTBEAT_SCHEMA_VERSION}")));
+    }
+
+    #[test]
+    fn rates_and_eta_are_always_finite() {
+        // The degenerate first-cell / zero-rate cases: no visits, no
+        // events, zero (or epsilon) elapsed time. Every numeric field
+        // must serialize as a plain number — the vendored JSON writer
+        // renders a non-finite f64 as `null`, which would break any
+        // monitor parsing the stream.
+        let buf = SharedBuf::default();
+        let tel = SweepTelemetry::new(1000, Some(Box::new(buf.clone())));
+        tel.cell_done(&CellReport::default());
+        tel.finish();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let line = text.lines().next().unwrap();
+        assert!(
+            !line.contains("null") && !line.contains("inf") && !line.contains("NaN"),
+            "degenerate heartbeat leaked a non-finite value: {line}"
+        );
+        assert!(line.contains("\"events_per_sec\":"), "{line}");
+        assert!(line.contains("\"eta_ms\":"), "{line}");
+    }
+
+    #[test]
+    fn finite_or_zero_clamps_only_non_finite() {
+        assert_eq!(finite_or_zero(f64::INFINITY), 0.0);
+        assert_eq!(finite_or_zero(f64::NEG_INFINITY), 0.0);
+        assert_eq!(finite_or_zero(f64::NAN), 0.0);
+        assert_eq!(finite_or_zero(42.5), 42.5);
     }
 
     #[test]

@@ -1,18 +1,28 @@
 //! Per-cell metric extraction and pooled assertion evaluation.
 //!
-//! Each run cell reduces to a [`CellMetrics`] accumulator (PLT samples,
-//! stall-category sums, trace counters, aggregate TCP/radio counters).
-//! Assertion references select cells by filter, merge the accumulators,
-//! and compute the named metric over the pool — so `spdy.rto_stall_ms`
-//! with three seeds is the mean over every SPDY visit of all three runs,
-//! not a mean of means.
+//! Each run cell reduces to a [`CellMetrics`] accumulator (a PLT
+//! quantile sketch, stall-category sums, trace counters, aggregate
+//! TCP/radio counters). Assertion references select cells by filter,
+//! merge the accumulators, and compute the named metric over the pool —
+//! so `spdy.rto_stall_ms` with three seeds is the mean over every SPDY
+//! visit of all three runs, not a mean of means.
+//!
+//! The accumulator is a *fold*: [`CellMetrics::fold_visit`] ingests one
+//! visit at a time and [`CellMetrics::merge`] combines two accumulators
+//! exactly (associative and commutative, like the sketch it contains),
+//! so a population-scale sweep holds O(cells) state instead of
+//! O(total visits), and any sharding of the work produces bit-identical
+//! pooled metrics. [`CellMetrics::to_value`]/[`CellMetrics::from_value`]
+//! are the checkpoint-store codec resumable sweeps persist cells with.
 
 use crate::assertions::{Assertion, Operand, CRITICAL_METRICS};
 use crate::manifest::{Cell, Manifest};
-use serde::Value;
+use serde::{Serialize, Value};
 use spdyier_causal::critical_paths_from_records;
-use spdyier_core::{attribute_stalls, AssertionVerdict, FlightLog, RunResult, VerdictStatus};
-use spdyier_sim::stats::{mean, percentile};
+use spdyier_core::{
+    attribute_stalls, AssertionVerdict, FlightLog, RunResult, VerdictStatus, VisitResult,
+};
+use spdyier_sim::stats::{MergeError, QuantileSketch};
 use std::collections::BTreeMap;
 
 /// Everything assertion evaluation needs from one run cell.
@@ -24,8 +34,11 @@ pub struct CellMetrics {
     pub variant: String,
     /// Cell seed.
     pub seed: u64,
-    /// PLT samples (ms) of completed visits.
-    pub plts_ms: Vec<f64>,
+    /// PLT samples (ms) of completed visits, held as a mergeable
+    /// log-bucketed sketch: O(buckets) memory however many visits the
+    /// cell folds, exact min/max/mean, quantiles within the pinned
+    /// sketch error bound (`2^(1/128)/2` ≈ 0.28% relative).
+    pub plt: QuantileSketch,
     /// Scheduled visits.
     pub visits: u64,
     /// Completed visits.
@@ -68,18 +81,17 @@ impl CellMetrics {
             protocol: cell.protocol.compact(),
             variant: cell.variant.clone(),
             seed: cell.seed,
-            plts_ms: result.plts_ms(),
-            visits: result.visits.len() as u64,
-            completed: result.visits.iter().filter(|v| v.completed).count() as u64,
             retransmissions: result.total_retransmissions,
             timeouts: result.total_timeouts,
             idle_restarts: result.total_idle_restarts,
             connections_opened: result.connections_opened,
             promotions: result.promotions.len() as u64,
-            total_bytes: result.visits.iter().map(|v| v.total_bytes).sum(),
             energy_mj: result.energy_mj,
             ..CellMetrics::default()
         };
+        for v in &result.visits {
+            m.fold_visit(v);
+        }
         if let Some(log) = log {
             for b in attribute_stalls(log) {
                 m.stall_sums_us[0] += b.promotion_us;
@@ -103,6 +115,20 @@ impl CellMetrics {
         m
     }
 
+    /// Fold one visit into the accumulator: count it, and record its
+    /// PLT sample and byte total. This is the streaming entry point —
+    /// a caller that folds visits one at a time and drops them ends up
+    /// with exactly the accumulator [`CellMetrics::from_run`] builds
+    /// from a retained [`RunResult`].
+    pub fn fold_visit(&mut self, v: &VisitResult) {
+        self.visits += 1;
+        if v.completed {
+            self.completed += 1;
+            self.plt.record(v.plt_ms);
+        }
+        self.total_bytes += v.total_bytes;
+    }
+
     /// Whether `filter` selects this cell: the protocol compact name, the
     /// variant name, or `seed<N>` (all case-insensitive).
     pub fn matches(&self, filter: &str) -> bool {
@@ -112,8 +138,13 @@ impl CellMetrics {
             || f == format!("seed{}", self.seed)
     }
 
-    fn merge(&mut self, other: &CellMetrics) {
-        self.plts_ms.extend_from_slice(&other.plts_ms);
+    /// Merge `other`'s samples and counters into `self` (the pooled
+    /// accumulator assertions evaluate over, and the shard-combine step
+    /// of a folded sweep). Exact, associative, and commutative; a
+    /// sketch-layout disagreement surfaces as a field-path
+    /// [`MergeError`] instead of a silent mismerge.
+    pub fn merge(&mut self, other: &CellMetrics) -> Result<(), MergeError> {
+        self.plt.merge(&other.plt)?;
         self.visits += other.visits;
         self.completed += other.completed;
         for (sum, add) in self.stall_sums_us.iter_mut().zip(other.stall_sums_us) {
@@ -134,6 +165,7 @@ impl CellMetrics {
         for (name, count) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += count;
         }
+        Ok(())
     }
 
     fn stall_mean_ms(&self, category: usize) -> Result<f64, String> {
@@ -163,12 +195,12 @@ impl CellMetrics {
             return self.critical_mean_ms(edge);
         }
         Ok(match name {
-            "plt_p50_ms" => percentile(&self.plts_ms, 50.0),
-            "plt_p90_ms" => percentile(&self.plts_ms, 90.0),
-            "plt_p95_ms" => percentile(&self.plts_ms, 95.0),
-            "plt_mean_ms" => mean(&self.plts_ms),
-            "plt_min_ms" => percentile(&self.plts_ms, 0.0),
-            "plt_max_ms" => percentile(&self.plts_ms, 100.0),
+            "plt_p50_ms" => self.plt.percentile(50.0),
+            "plt_p90_ms" => self.plt.percentile(90.0),
+            "plt_p95_ms" => self.plt.percentile(95.0),
+            "plt_mean_ms" => self.plt.mean(),
+            "plt_min_ms" => self.plt.min(),
+            "plt_max_ms" => self.plt.max(),
             "completion_rate" => {
                 if self.visits == 0 {
                     0.0
@@ -241,15 +273,9 @@ impl CellMetrics {
             ("seed".into(), Value::U64(self.seed)),
             ("visits".into(), Value::U64(self.visits)),
             ("completed".into(), Value::U64(self.completed)),
-            (
-                "plt_p50_ms".into(),
-                Value::F64(percentile(&self.plts_ms, 50.0)),
-            ),
-            (
-                "plt_p90_ms".into(),
-                Value::F64(percentile(&self.plts_ms, 90.0)),
-            ),
-            ("plt_mean_ms".into(), Value::F64(mean(&self.plts_ms))),
+            ("plt_p50_ms".into(), Value::F64(self.plt.percentile(50.0))),
+            ("plt_p90_ms".into(), Value::F64(self.plt.percentile(90.0))),
+            ("plt_mean_ms".into(), Value::F64(self.plt.mean())),
             ("retransmissions".into(), Value::U64(self.retransmissions)),
             ("timeouts".into(), Value::U64(self.timeouts)),
             (
@@ -283,6 +309,127 @@ impl CellMetrics {
         }
         Value::Object(entries)
     }
+
+    /// Decode an accumulator from the JSON value its `Serialize` impl
+    /// produces — the checkpoint-store codec. Every field is integer or
+    /// a shortest-round-trip f64, so encode → decode is lossless and a
+    /// resumed sweep reproduces the uninterrupted run byte for byte.
+    pub fn from_value(v: &Value) -> Result<CellMetrics, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("cell.{name}: missing or not a string"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("cell.{name}: missing or not unsigned"))
+        };
+        let sums = |name: &str, out: &mut [u64]| -> Result<(), String> {
+            let arr = v
+                .get(name)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("cell.{name}: missing or not an array"))?;
+            if arr.len() != out.len() {
+                return Err(format!(
+                    "cell.{name}: expected {} entries, got {}",
+                    out.len(),
+                    arr.len()
+                ));
+            }
+            for (i, (slot, x)) in out.iter_mut().zip(arr).enumerate() {
+                *slot = x
+                    .as_u64()
+                    .ok_or_else(|| format!("cell.{name}[{i}]: not unsigned"))?;
+            }
+            Ok(())
+        };
+        let mut m = CellMetrics {
+            protocol: str_field("protocol")?,
+            variant: str_field("variant")?,
+            seed: u64_field("seed")?,
+            plt: QuantileSketch::from_value(
+                v.get("plt")
+                    .ok_or_else(|| "cell.plt: missing".to_string())?,
+            )
+            .map_err(|e| format!("cell.plt: {e}"))?,
+            visits: u64_field("visits")?,
+            completed: u64_field("completed")?,
+            stall_visits: u64_field("stall_visits")?,
+            critical_visits: u64_field("critical_visits")?,
+            retransmissions: u64_field("retransmissions")?,
+            timeouts: u64_field("timeouts")?,
+            idle_restarts: u64_field("idle_restarts")?,
+            connections_opened: u64_field("connections_opened")?,
+            promotions: u64_field("promotions")?,
+            total_bytes: u64_field("total_bytes")?,
+            energy_mj: v
+                .get("energy_mj")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| "cell.energy_mj: missing or not a number".to_string())?,
+            ..CellMetrics::default()
+        };
+        sums("stall_sums_us", &mut m.stall_sums_us)?;
+        sums("critical_sums_us", &mut m.critical_sums_us)?;
+        let Some(Value::Object(counters)) = v.get("counters") else {
+            return Err("cell.counters: missing or not an object".to_string());
+        };
+        for (name, count) in counters {
+            let count = count
+                .as_u64()
+                .ok_or_else(|| format!("cell.counters.{name}: not unsigned"))?;
+            m.counters.insert(name.clone(), count);
+        }
+        Ok(m)
+    }
+}
+
+impl Serialize for CellMetrics {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("protocol".into(), Value::Str(self.protocol.clone())),
+            ("variant".into(), Value::Str(self.variant.clone())),
+            ("seed".into(), Value::U64(self.seed)),
+            ("plt".into(), self.plt.to_value()),
+            ("visits".into(), Value::U64(self.visits)),
+            ("completed".into(), Value::U64(self.completed)),
+            (
+                "stall_sums_us".into(),
+                Value::Array(self.stall_sums_us.iter().map(|&x| Value::U64(x)).collect()),
+            ),
+            ("stall_visits".into(), Value::U64(self.stall_visits)),
+            (
+                "critical_sums_us".into(),
+                Value::Array(
+                    self.critical_sums_us
+                        .iter()
+                        .map(|&x| Value::U64(x))
+                        .collect(),
+                ),
+            ),
+            ("critical_visits".into(), Value::U64(self.critical_visits)),
+            ("retransmissions".into(), Value::U64(self.retransmissions)),
+            ("timeouts".into(), Value::U64(self.timeouts)),
+            ("idle_restarts".into(), Value::U64(self.idle_restarts)),
+            (
+                "connections_opened".into(),
+                Value::U64(self.connections_opened),
+            ),
+            ("promotions".into(), Value::U64(self.promotions)),
+            ("total_bytes".into(), Value::U64(self.total_bytes)),
+            ("energy_mj".into(), Value::F64(self.energy_mj)),
+            (
+                "counters".into(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, &n)| (k.clone(), Value::U64(n)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Pool the cells selected by `filters` and compute `metric` over them.
@@ -291,7 +438,7 @@ pub fn eval_metric(cells: &[CellMetrics], filters: &[String], metric: &str) -> R
     let mut matched = 0usize;
     for cell in cells {
         if filters.iter().all(|f| cell.matches(f)) {
-            pool.merge(cell);
+            pool.merge(cell).map_err(|e| e.to_string())?;
             matched += 1;
         }
     }
@@ -380,11 +527,19 @@ mod tests {
     use super::*;
     use crate::manifest::Manifest;
 
+    fn sketch_of(plts: &[f64]) -> QuantileSketch {
+        let mut s = QuantileSketch::new();
+        for &x in plts {
+            s.record(x);
+        }
+        s
+    }
+
     fn cell(protocol: &str, seed: u64, plts: &[f64], rto_us: u64) -> CellMetrics {
         CellMetrics {
             protocol: protocol.into(),
             seed,
-            plts_ms: plts.to_vec(),
+            plt: sketch_of(plts),
             visits: plts.len() as u64 + 1,
             completed: plts.len() as u64,
             stall_sums_us: [0, 0, 0, rto_us, 0, 0],
@@ -454,7 +609,7 @@ mod tests {
         ];
         let m = manifest_with(&[
             "spdy.rto_stall_ms > http.rto_stall_ms on 3g",
-            "plt_p50_ms < 120",
+            "plt_p50_ms < 90",
             "plt_p50_ms < 1 on lte",
         ]);
         let verdicts = evaluate(&m, &cells);
@@ -557,6 +712,65 @@ mod tests {
         let c = cell("http", 0, &[100.0], 0);
         let e = c.metric("critical_parse_ms").unwrap_err();
         assert!(e.contains("full-level tracing"), "{e}");
+    }
+
+    fn visit(plt_ms: f64, completed: bool, total_bytes: u64) -> VisitResult {
+        VisitResult {
+            site: 1,
+            start: spdyier_sim::SimTime::ZERO,
+            onload: None,
+            plt_ms,
+            completed,
+            object_timings: Vec::new(),
+            object_count: 0,
+            total_bytes,
+        }
+    }
+
+    #[test]
+    fn fold_visit_streams_the_same_accumulator_as_batch() {
+        let mut folded = CellMetrics::default();
+        for v in [
+            visit(120.0, true, 1_000),
+            visit(60_000.0, false, 400),
+            visit(340.5, true, 2_000),
+        ] {
+            folded.fold_visit(&v);
+        }
+        assert_eq!(folded.visits, 3);
+        assert_eq!(folded.completed, 2);
+        assert_eq!(folded.total_bytes, 3_400);
+        assert_eq!(folded.plt.count(), 2, "censored visits contribute no PLT");
+        assert_eq!(folded.plt.min(), 120.0);
+        assert_eq!(folded.plt.max(), 340.5);
+    }
+
+    #[test]
+    fn merge_reports_sketch_layout_mismatch_with_field_path() {
+        let mut a = cell("http", 0, &[100.0], 0);
+        let mut b = cell("http", 1, &[200.0], 0);
+        b.plt = QuantileSketch::with_sub_bits(5);
+        let e = a.merge(&b).unwrap_err();
+        assert_eq!(e.path, "quantile_sketch.sub_bits");
+        // eval_metric surfaces it instead of mismerging.
+        let cells = vec![cell("http", 0, &[100.0], 0), b];
+        let e = eval_metric(&cells, &[], "plt_mean_ms").unwrap_err();
+        assert!(e.contains("sub_bits"), "{e}");
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips_through_json_text() {
+        let mut c = cell("spdy:20:late", 3, &[100.25, 5_432.1, 60_000.0], 9_000);
+        c.critical_sums_us = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+        c.critical_visits = 2;
+        c.energy_mj = 1234.5678;
+        c.variant = "rtt_reset".into();
+        let text = serde_json::to_string(&c).unwrap();
+        let decoded = CellMetrics::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(decoded, c, "encode → text → decode must be lossless");
+        // Decode failures carry a field path.
+        let e = CellMetrics::from_value(&Value::Object(vec![])).unwrap_err();
+        assert!(e.contains("cell.protocol"), "{e}");
     }
 
     #[test]

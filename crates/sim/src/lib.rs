@@ -39,5 +39,5 @@ pub mod time;
 pub use queue::{EventId, EventQueue};
 pub use rng::DetRng;
 pub use series::{EventMarks, OptionSeries, TimeSeries};
-pub use stats::{BoxStats, Cdf, Histogram, MeanCi};
+pub use stats::{BoxStats, Cdf, Histogram, MeanCi, MergeError, QuantileSketch};
 pub use time::{SimDuration, SimTime};

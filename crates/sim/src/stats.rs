@@ -1,8 +1,10 @@
 //! Statistical summaries used by the experiment harness: five-number
 //! box-plot summaries (the paper's Figures 3 and 16), CDFs (Figure 14),
-//! means with confidence intervals (Figure 4), and histograms.
+//! means with confidence intervals (Figure 4), histograms, and the
+//! mergeable [`QuantileSketch`] population-scale sweeps fold into.
 
-use serde::Serialize;
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
 
 /// Arithmetic mean; 0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
@@ -198,8 +200,17 @@ impl Histogram {
     /// boundary buckets. NaN is rejected (counted in
     /// [`Histogram::rejected_nan`], not in any bucket or `total`).
     pub fn record(&mut self, x: f64) {
+        self.record_n(x, 1);
+    }
+
+    /// Record `n` identical observations (the bulk form sketches use
+    /// when they expand bucket counts into a fixed-width histogram).
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         if x.is_nan() {
-            self.rejected_nan += 1;
+            self.rejected_nan += n;
             return;
         }
         let bins = self.counts.len();
@@ -210,8 +221,34 @@ impl Histogram {
         } else {
             (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
         };
-        self.counts[idx.min(bins - 1)] += 1;
-        self.total += 1;
+        self.counts[idx.min(bins - 1)] += n;
+        self.total += n;
+    }
+
+    /// Merge `other`'s counts into `self`. Both histograms must share
+    /// the exact same layout; any disagreement returns a [`MergeError`]
+    /// naming the mismatching field instead of silently adding counts
+    /// into the wrong buckets (or panicking on a length mismatch).
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.lo.to_bits() != other.lo.to_bits() {
+            return Err(MergeError::mismatch("histogram.lo", self.lo, other.lo));
+        }
+        if self.hi.to_bits() != other.hi.to_bits() {
+            return Err(MergeError::mismatch("histogram.hi", self.hi, other.hi));
+        }
+        if self.counts.len() != other.counts.len() {
+            return Err(MergeError::mismatch(
+                "histogram.counts.len",
+                self.counts.len(),
+                other.counts.len(),
+            ));
+        }
+        for (sum, add) in self.counts.iter_mut().zip(&other.counts) {
+            *sum += add;
+        }
+        self.total += other.total;
+        self.rejected_nan += other.rejected_nan;
+        Ok(())
     }
 
     /// `(bucket_midpoint, count)` pairs.
@@ -222,6 +259,389 @@ impl Histogram {
             .enumerate()
             .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
             .collect()
+    }
+}
+
+/// Diagnostic error from merging two incompatible summaries. Carries
+/// the dotted path of the field that disagreed (`histogram.lo`,
+/// `quantile_sketch.sub_bits`, `cell.protocol`, …) so a failed shard
+/// merge names the exact layout parameter at fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Dotted path of the mismatching field.
+    pub path: String,
+    /// `left != right` rendering of the disagreement.
+    pub detail: String,
+}
+
+impl MergeError {
+    /// A mismatch error for `path` with both sides rendered.
+    pub fn mismatch<T: std::fmt::Debug>(path: &str, left: T, right: T) -> MergeError {
+        MergeError {
+            path: path.into(),
+            detail: format!("{left:?} != {right:?}"),
+        }
+    }
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: cannot merge, {}", self.path, self.detail)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Sub-octave resolution of the default [`QuantileSketch`]: the top 7
+/// mantissa bits index 128 log-linear buckets per power of two, for a
+/// worst-case relative quantile error of `2^(1/128) / 2` ≈ 0.28%.
+pub const SKETCH_SUB_BITS: u32 = 7;
+
+/// Fixed-point scale (2^32) for the sketch's running sum: summing
+/// integers keeps the mean exactly associative and order-independent,
+/// which f64 addition is not.
+const SUM_FP_BITS: u32 = 32;
+
+fn sum_fp(x: f64) -> u128 {
+    // x is finite and non-negative here; `as` saturates on overflow.
+    (x * (1u64 << SUM_FP_BITS) as f64).round() as u128
+}
+
+/// A mergeable, deterministic quantile sketch over non-negative finite
+/// samples.
+///
+/// Buckets are fixed log-linear: a sample's bucket index is its f64 bit
+/// pattern truncated to the exponent plus the top `sub_bits` mantissa
+/// bits — pure integer math, no `log()`, so every build and platform
+/// buckets identically. Because the layout is fixed (not adaptive),
+/// merging is bucket-wise addition: **exact** (merging two sketches
+/// equals sketching the concatenated samples), **associative**, and
+/// **commutative**. Min, max, and count are tracked exactly, quantile
+/// estimates are clamped into `[min, max]` (single-sample and constant
+/// sketches are therefore exact), and the mean comes from a fixed-point
+/// integer sum so it is bit-for-bit independent of fold order. Memory
+/// is O(distinct buckets) — at most a few thousand — regardless of how
+/// many samples are recorded; that is what makes population-scale
+/// sweeps O(cells) instead of O(total visits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Sub-octave resolution (mantissa bits per bucket index).
+    sub_bits: u32,
+    /// Sparse bucket counts, keyed by truncated f64 bit pattern.
+    buckets: BTreeMap<u32, u64>,
+    /// Samples exactly equal to zero (no log bucket exists for them).
+    zeros: u64,
+    /// Total samples recorded (zeros included, rejections excluded).
+    count: u64,
+    /// NaN, infinite, or negative samples rejected by [`QuantileSketch::record`].
+    rejected: u64,
+    /// Exact smallest sample (+inf while empty).
+    min: f64,
+    /// Exact largest sample (-inf while empty).
+    max: f64,
+    /// Fixed-point (2^32-scaled) sum of all samples.
+    sum_fp: u128,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch at the default [`SKETCH_SUB_BITS`] resolution.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch::with_sub_bits(SKETCH_SUB_BITS)
+    }
+
+    /// An empty sketch with `sub_bits` mantissa bits per bucket
+    /// (clamped to `[0, 20]`). Sketches of different resolution refuse
+    /// to merge.
+    pub fn with_sub_bits(sub_bits: u32) -> QuantileSketch {
+        QuantileSketch {
+            sub_bits: sub_bits.min(20),
+            buckets: BTreeMap::new(),
+            zeros: 0,
+            count: 0,
+            rejected: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum_fp: 0,
+        }
+    }
+
+    fn bucket_key(&self, x: f64) -> u32 {
+        (x.to_bits() >> (52 - self.sub_bits)) as u32
+    }
+
+    fn bucket_lo(&self, key: u32) -> f64 {
+        f64::from_bits(u64::from(key) << (52 - self.sub_bits))
+    }
+
+    /// Deterministic representative of a bucket: the arithmetic midpoint
+    /// of its bounds.
+    fn bucket_mid(&self, key: u32) -> f64 {
+        (self.bucket_lo(key) + self.bucket_lo(key + 1)) / 2.0
+    }
+
+    /// Record one sample. NaN, infinite, and negative samples are
+    /// rejected and counted in [`QuantileSketch::rejected`] — never
+    /// silently folded into a bucket.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            self.rejected += 1;
+            return;
+        }
+        if x == 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(self.bucket_key(x)).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum_fp = self.sum_fp.saturating_add(sum_fp(x));
+    }
+
+    /// Merge `other` into `self`. Exact: the result equals sketching
+    /// both sample streams into one sketch, in any order. Returns a
+    /// field-path [`MergeError`] if the layouts disagree.
+    pub fn merge(&mut self, other: &QuantileSketch) -> Result<(), MergeError> {
+        if self.sub_bits != other.sub_bits {
+            return Err(MergeError::mismatch(
+                "quantile_sketch.sub_bits",
+                self.sub_bits,
+                other.sub_bits,
+            ));
+        }
+        for (&key, &n) in &other.buckets {
+            *self.buckets.entry(key).or_insert(0) += n;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.rejected += other.rejected;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum_fp = self.sum_fp.saturating_add(other.sum_fp);
+        Ok(())
+    }
+
+    /// Samples recorded (rejections excluded).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Samples rejected as NaN, infinite, or negative.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Exact minimum (0 while empty, mirroring `percentile(&[], 0)`).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 while empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact sum of all samples (up to the 2^-32 fixed-point rounding
+    /// of each recorded sample).
+    pub fn sum(&self) -> f64 {
+        (self.sum_fp as f64) / (1u64 << SUM_FP_BITS) as f64
+    }
+
+    /// Mean (0 while empty). Computed from the integer fixed-point sum,
+    /// so the value is identical however the samples were partitioned
+    /// across merges.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum() / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`; 0 while empty): the bucket
+    /// midpoint at the nearest rank, clamped into `[min, max]`. The
+    /// estimate is within one bucket width of the exact value — a
+    /// relative error of at most `2^(1 / 2^sub_bits) / 2`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly; answer from them so q0
+        // and q1 (and every quantile of a single-sample sketch) carry
+        // no bucket error at all.
+        if target == 1 {
+            return self.min;
+        }
+        if target == self.count {
+            return self.max;
+        }
+        let mut cum = self.zeros;
+        if cum >= target {
+            return 0.0;
+        }
+        for (&key, &n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                return self.bucket_mid(key).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// [`QuantileSketch::quantile`] with `p` in `[0, 100]`, mirroring
+    /// [`percentile`].
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Five-number box summary built from the sketch: min/max/mean/n
+    /// exact, quartiles within the sketch error bound.
+    pub fn box_stats(&self) -> Option<BoxStats> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(BoxStats {
+            min: self.min,
+            q1: self.quantile(0.25),
+            median: self.quantile(0.5),
+            q3: self.quantile(0.75),
+            max: self.max,
+            mean: self.mean(),
+            n: self.count as usize,
+        })
+    }
+
+    /// Empirical CDF over the bucket representatives (clamped into
+    /// `[min, max]`).
+    pub fn cdf(&self) -> Cdf {
+        let n = self.count as f64;
+        let mut points = Vec::with_capacity(self.buckets.len() + 1);
+        let mut cum = 0u64;
+        if self.zeros > 0 {
+            cum += self.zeros;
+            points.push((0.0, cum as f64 / n));
+        }
+        for (&key, &c) in &self.buckets {
+            cum += c;
+            points.push((
+                self.bucket_mid(key).clamp(self.min, self.max),
+                cum as f64 / n,
+            ));
+        }
+        Cdf { points }
+    }
+
+    /// Expand into a fixed-width [`Histogram`] over `[lo, hi)` (bucket
+    /// representatives, clamped like any other recorded value).
+    pub fn to_histogram(&self, lo: f64, hi: f64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(lo, hi, bins);
+        h.record_n(0.0, self.zeros);
+        for (&key, &n) in &self.buckets {
+            h.record_n(self.bucket_mid(key).clamp(self.min, self.max), n);
+        }
+        h
+    }
+
+    /// Decode a sketch from the JSON value produced by its `Serialize`
+    /// impl (the checkpoint-store codec; the vendored serde has no
+    /// typed deserializer).
+    pub fn from_value(v: &Value) -> Result<QuantileSketch, String> {
+        let field_u64 = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("quantile_sketch.{name}: missing or not unsigned"))
+        };
+        let field_f64 = |name: &str, empty: f64| -> Result<f64, String> {
+            match v.get(name) {
+                None => Err(format!("quantile_sketch.{name}: missing")),
+                Some(Value::Null) => Ok(empty),
+                Some(x) => x
+                    .as_f64()
+                    .ok_or_else(|| format!("quantile_sketch.{name}: not a number")),
+            }
+        };
+        let mut sketch = QuantileSketch::with_sub_bits(
+            u32::try_from(field_u64("sub_bits")?)
+                .map_err(|_| "quantile_sketch.sub_bits: out of range".to_string())?,
+        );
+        sketch.zeros = field_u64("zeros")?;
+        sketch.count = field_u64("count")?;
+        sketch.rejected = field_u64("rejected")?;
+        sketch.min = field_f64("min", f64::INFINITY)?;
+        sketch.max = field_f64("max", f64::NEG_INFINITY)?;
+        sketch.sum_fp =
+            (u128::from(field_u64("sum_fp_hi")?) << 64) | u128::from(field_u64("sum_fp_lo")?);
+        let buckets = v
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "quantile_sketch.buckets: missing or not an array".to_string())?;
+        for (i, pair) in buckets.iter().enumerate() {
+            let key = pair
+                .get_index(0)
+                .and_then(Value::as_u64)
+                .and_then(|k| u32::try_from(k).ok())
+                .ok_or_else(|| format!("quantile_sketch.buckets[{i}][0]: not a bucket key"))?;
+            let n = pair
+                .get_index(1)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("quantile_sketch.buckets[{i}][1]: not a count"))?;
+            sketch.buckets.insert(key, n);
+        }
+        Ok(sketch)
+    }
+}
+
+impl Serialize for QuantileSketch {
+    fn to_value(&self) -> Value {
+        // min/max are ±inf while empty; JSON has no inf, so they encode
+        // as null and decode back through the empty-sketch defaults.
+        let bound = |x: f64| {
+            if x.is_finite() {
+                Value::F64(x)
+            } else {
+                Value::Null
+            }
+        };
+        Value::Object(vec![
+            ("sub_bits".into(), Value::U64(u64::from(self.sub_bits))),
+            ("count".into(), Value::U64(self.count)),
+            ("zeros".into(), Value::U64(self.zeros)),
+            ("rejected".into(), Value::U64(self.rejected)),
+            ("min".into(), bound(self.min)),
+            ("max".into(), bound(self.max)),
+            ("sum_fp_hi".into(), Value::U64((self.sum_fp >> 64) as u64)),
+            ("sum_fp_lo".into(), Value::U64(self.sum_fp as u64)),
+            (
+                "buckets".into(),
+                Value::Array(
+                    self.buckets
+                        .iter()
+                        .map(|(&k, &n)| Value::Array(vec![Value::U64(u64::from(k)), Value::U64(n)]))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -323,5 +743,158 @@ mod tests {
     #[should_panic]
     fn histogram_rejects_empty_range() {
         let _ = Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(1.5);
+        b.record(9.0);
+        b.record(f64::NAN);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total, 3);
+        assert_eq!(a.counts[0], 2);
+        assert_eq!(a.counts[4], 1);
+        assert_eq!(a.rejected_nan, 1);
+    }
+
+    #[test]
+    fn histogram_merge_rejects_layout_mismatch_with_field_path() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let e = a.merge(&Histogram::new(1.0, 10.0, 5)).unwrap_err();
+        assert_eq!(e.path, "histogram.lo");
+        assert!(e.detail.contains("0.0") && e.detail.contains("1.0"), "{e}");
+        let e = a.merge(&Histogram::new(0.0, 20.0, 5)).unwrap_err();
+        assert_eq!(e.path, "histogram.hi");
+        let e = a.merge(&Histogram::new(0.0, 10.0, 6)).unwrap_err();
+        assert_eq!(e.path, "histogram.counts.len");
+        assert!(e.to_string().contains("histogram.counts.len"), "{e}");
+        // A failed merge must leave the target untouched.
+        assert_eq!(a.total, 0);
+    }
+
+    #[test]
+    fn sketch_tracks_exact_min_max_mean_count() {
+        let mut s = QuantileSketch::new();
+        for x in [120.5, 3000.0, 45.25, 0.0, 777.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 3000.0);
+        let exact_mean = (120.5 + 3000.0 + 45.25 + 777.0) / 5.0;
+        assert!((s.mean() - exact_mean).abs() < 1e-6, "{}", s.mean());
+    }
+
+    #[test]
+    fn sketch_rejects_nonfinite_and_negative() {
+        let mut s = QuantileSketch::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(-1.0);
+        s.record(2.0);
+        assert_eq!(s.rejected(), 3);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn sketch_quantiles_stay_within_relative_error_bound() {
+        let mut s = QuantileSketch::new();
+        for i in 1..=10_000u32 {
+            s.record(f64::from(i));
+        }
+        // One bucket is 2^(1/128) wide; the midpoint is within half of
+        // that of any sample in the bucket.
+        let bound = 2f64.powf(1.0 / 128.0) / 2.0 - 0.49;
+        for (q, exact) in [(0.5, 5000.0), (0.9, 9000.0), (0.95, 9500.0), (0.99, 9900.0)] {
+            let got = s.quantile(q);
+            let rel = (got - exact).abs() / exact;
+            assert!(rel <= bound + 1e-4, "q{q}: {got} vs {exact} (rel {rel})");
+        }
+        assert_eq!(s.quantile(0.0), 1.0, "q0 clamps to the exact min");
+        assert_eq!(s.quantile(1.0), 10_000.0, "q1 clamps to the exact max");
+    }
+
+    #[test]
+    fn single_sample_sketch_is_exact_everywhere() {
+        let mut s = QuantileSketch::new();
+        s.record(1234.5);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(s.quantile(q), 1234.5, "q={q}");
+        }
+        assert_eq!(s.percentile(50.0), 1234.5);
+        let b = s.box_stats().unwrap();
+        assert_eq!(
+            (b.min, b.median, b.max, b.mean, b.n),
+            (1234.5, 1234.5, 1234.5, 1234.5, 1)
+        );
+    }
+
+    #[test]
+    fn sketch_merge_equals_union_and_is_order_independent() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64) * 7.25 + 0.5).collect();
+        let mut whole = QuantileSketch::new();
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab, whole, "merge must equal sketching the union");
+        assert_eq!(ba, whole, "merge must be commutative");
+    }
+
+    #[test]
+    fn sketch_merge_rejects_resolution_mismatch() {
+        let mut a = QuantileSketch::with_sub_bits(7);
+        let e = a.merge(&QuantileSketch::with_sub_bits(5)).unwrap_err();
+        assert_eq!(e.path, "quantile_sketch.sub_bits");
+        assert!(e.detail.contains('7') && e.detail.contains('5'), "{e}");
+    }
+
+    #[test]
+    fn sketch_reductions_build_cdf_and_histogram() {
+        let mut s = QuantileSketch::new();
+        for x in [0.0, 1.0, 2.0, 4.0] {
+            s.record(x);
+        }
+        let cdf = s.cdf();
+        assert_eq!(cdf.points.first().unwrap(), &(0.0, 0.25));
+        assert_eq!(cdf.points.last().unwrap().1, 1.0);
+        assert_eq!(cdf.fraction_at(0.0), 0.25);
+        let h = s.to_histogram(0.0, 8.0, 4);
+        assert_eq!(h.total, 4);
+        assert_eq!(h.counts[0], 2, "0.0 and ~1.0 land in the first bin");
+    }
+
+    #[test]
+    fn sketch_value_round_trip_is_exact() {
+        let mut s = QuantileSketch::new();
+        for i in 0..50u32 {
+            s.record(f64::from(i) * 13.37 + 0.001);
+        }
+        s.record(f64::NAN);
+        let decoded = QuantileSketch::from_value(&s.to_value()).unwrap();
+        assert_eq!(decoded, s);
+        // The empty sketch round-trips its non-finite min/max via null.
+        let empty = QuantileSketch::new();
+        assert_eq!(
+            QuantileSketch::from_value(&empty.to_value()).unwrap(),
+            empty
+        );
+        // Decode diagnostics name the field.
+        let e = QuantileSketch::from_value(&Value::Object(vec![])).unwrap_err();
+        assert!(e.contains("quantile_sketch.sub_bits"), "{e}");
     }
 }
